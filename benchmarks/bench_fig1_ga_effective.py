@@ -1,0 +1,96 @@
+"""Fig. 1: the effective axial coupling, Feynman-Hellmann vs traditional.
+
+Regenerates every element of the figure from the calibrated synthetic
+a09m310 ensemble: the grey FH ``g_eff(t)`` points (precise at small t,
+exponentially noisy at large t), the excited-state-subtracted black
+points, the traditional large-``tsep`` ratios with their order-of-
+magnitude larger sample, and the two g_A bands.  The injected ground
+truth is g_A = 1.271; the FH fit must recover it at the paper's ~1%
+with 784 samples while the traditional fit with 7,840 samples is several
+times less precise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ga_fit import (
+    fit_fh_joint,
+    fit_traditional_ensemble,
+    g_eff_jackknife,
+)
+from repro.analysis.lifetime import neutron_lifetime
+from repro.core import SyntheticGAEnsemble
+from repro.utils.tables import format_table
+
+N_FH_SAMPLES = 784
+TRADITIONAL_MULTIPLIER = 10
+
+
+def _subtracted(center, ens, fit_ga):
+    """Excited-state-subtracted points (the black symbols of Fig. 1)."""
+    t = np.arange(len(center), dtype=float)
+    contamination = ens.g_eff_mean() - ens.spec.g_a
+    return center - contamination
+
+
+def test_fig1_effective_ga(benchmark, report):
+    ens = SyntheticGAEnsemble(rng=13)
+    c2, cfh = ens.sample_correlators(N_FH_SAMPLES)
+    trad_data = ens.sample_traditional(N_FH_SAMPLES * TRADITIONAL_MULTIPLIER)
+
+    fh_fit = benchmark(fit_fh_joint, c2, cfh, 1, 10)
+    trad_fit = fit_traditional_ensemble(trad_data)
+
+    center, reps = g_eff_jackknife(c2, cfh)
+    err = np.sqrt(np.maximum(0.0, (reps.shape[0] - 1) * reps.var(axis=0)))
+    subtracted = _subtracted(center, ens, fh_fit.g_a)
+
+    rows = []
+    for t in range(12):
+        rows.append(
+            (
+                t,
+                f"{center[t]:+.4f} +- {err[t]:.4f}",
+                f"{subtracted[t]:+.4f} +- {err[t]:.4f}",
+                f"{ens.g_eff_mean()[t]:+.4f}",
+            )
+        )
+    series = format_table(
+        ["t", "g_eff (FH raw, grey)", "g_eff (subtracted, black)", "model truth"],
+        rows,
+        title=f"Fig. 1 series: effective axial coupling, N={N_FH_SAMPLES} samples",
+    )
+
+    trad_rows = []
+    for tsep, arr in trad_data.items():
+        m = arr.mean(axis=0)
+        e = arr.std(axis=0, ddof=1) / np.sqrt(arr.shape[0])
+        mid = len(m) // 2
+        trad_rows.append(
+            (tsep, f"{m[mid]:+.4f} +- {e[mid]:.4f}", arr.shape[0])
+        )
+    trad_table = format_table(
+        ["tsep", "R(tsep/2) (colored symbols)", "samples"],
+        trad_rows,
+        title="Fig. 1 traditional points (noise frozen at the sink time)",
+    )
+
+    tau = neutron_lifetime(fh_fit.g_a, fh_fit.error)
+    summary = "\n".join(
+        [
+            f"ground truth     : g_A = {ens.spec.g_a}",
+            f"FH fit   (blue)  : {fh_fit}",
+            f"trad fit (grey)  : {trad_fit}",
+            f"precision ratio  : traditional error / FH error = "
+            f"{trad_fit.error / fh_fit.error:.2f}x with {TRADITIONAL_MULTIPLIER}x the samples",
+            f"Eq. (1) lifetime : {tau}",
+        ]
+    )
+    report("Fig. 1 (effective g_A: FH vs traditional)", f"{series}\n\n{trad_table}\n\n{summary}")
+
+    # Shape assertions: the paper's qualitative claims.
+    assert fh_fit.relative_error < 0.02  # ~1% determination
+    assert abs(fh_fit.g_a - ens.spec.g_a) < 3 * fh_fit.error
+    assert trad_fit.error > 2.0 * fh_fit.error  # FH wins despite 10x fewer samples
+    assert err[10] > 20 * err[1]  # exponential noise growth in t

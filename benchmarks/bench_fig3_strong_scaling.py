@@ -1,0 +1,79 @@
+"""Fig. 3 (a, b, c): strong scaling of the CG solver on 48^3 x 64.
+
+Three machine generations on the same problem: aggregate TFlops, percent
+of single-precision peak (1.675x accounting), and effective bandwidth
+per GPU.  Anchors: per-GPU bandwidth at peak efficiency of 139 / 516 /
+975 GB/s for Titan / Ray / Sierra, Sierra ~20% of peak at low node
+count, and monotone decline with GPU count.
+"""
+
+from __future__ import annotations
+
+from repro.machines import get_machine
+from repro.perfmodel import strong_scaling
+from repro.utils.tables import format_table
+
+DIMS = (48, 48, 48, 64)
+LS = 20
+GPU_COUNTS = {
+    "titan": [1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 144],
+    "ray": [4, 8, 16, 32, 48, 64, 96, 128, 144],
+    "sierra": [4, 8, 16, 32, 48, 64, 96, 128, 144],
+}
+
+
+def _curve(name):
+    m = get_machine(name)
+    return m, strong_scaling(m, DIMS, LS, gpu_counts=GPU_COUNTS[name])
+
+
+def test_fig3_strong_scaling(benchmark, report):
+    curves = {}
+    for name in ("titan", "ray", "sierra"):
+        m, pts = benchmark.pedantic(
+            _curve, args=(name,), rounds=1, iterations=1
+        ) if name == "sierra" else _curve(name)
+        curves[name] = (m, pts)
+
+    rows = []
+    by_count = {}
+    for name, (m, pts) in curves.items():
+        for p in pts:
+            by_count.setdefault(p.n_gpus, {})[name] = (m, p)
+    for n in sorted(by_count):
+        cells = [n]
+        for name in ("titan", "ray", "sierra"):
+            if name in by_count[n]:
+                m, p = by_count[n][name]
+                cells.append(
+                    f"{p.tflops_total:7.1f} / {p.pct_peak(m.gpu.fp32_tflops):4.1f} / {p.bw_per_gpu_gbs:5.0f}"
+                )
+            else:
+                cells.append("-")
+        rows.append(cells)
+    table = format_table(
+        ["GPUs", "Titan TF/%pk/GBs", "Ray TF/%pk/GBs", "Sierra TF/%pk/GBs"],
+        rows,
+        title="Fig. 3: strong scaling, 48^3 x 64 x 20 (TFlops / % of peak / GB/s per GPU)",
+    )
+    report("Fig. 3 (strong scaling across GPU generations)", table)
+
+    # Paper anchors.
+    sierra_m, sierra_pts = curves["sierra"]
+    low = sierra_pts[0]
+    assert abs(low.bw_per_gpu_gbs - 975) < 50
+    assert abs(low.pct_peak(sierra_m.gpu.fp32_tflops) - 20.0) < 2.0
+    titan_low = curves["titan"][1][0]
+    assert abs(titan_low.bw_per_gpu_gbs - 139) < 10
+    ray_low = curves["ray"][1][0]
+    assert abs(ray_low.bw_per_gpu_gbs - 516) < 30
+    # Efficiency declines with scale on every machine; ordering holds.
+    for name, (m, pts) in curves.items():
+        assert pts[-1].tflops_per_gpu < pts[0].tflops_per_gpu
+    for n in (16, 64, 128):
+        t = by_count[n]
+        assert (
+            t["sierra"][1].tflops_total
+            > t["ray"][1].tflops_total
+            > t["titan"][1].tflops_total
+        )

@@ -1,0 +1,54 @@
+"""Fig. 4: strong scaling of a single 96^3 x 144 solve on Summit.
+
+The next-generation proof of concept: a large enough problem strong
+scales to a significant machine fraction and approaches 1.5 PFlops —
+but solver efficiency drops dramatically past ~2000 GPUs, which is the
+paper's argument that data parallelism alone cannot saturate CORAL and a
+job manager must exploit the outer loop.
+"""
+
+from __future__ import annotations
+
+from repro.machines import get_machine
+from repro.perfmodel import SolverPerfModel
+from repro.utils.tables import format_table
+
+DIMS = (96, 96, 96, 144)
+LS = 20
+GPU_COUNTS = [96, 192, 384, 768, 1152, 1536, 2304, 3072, 4608, 6912, 9216]
+
+
+def test_fig4_summit_strong_scaling(benchmark, report):
+    summit = get_machine("summit")
+    model = SolverPerfModel(summit, DIMS, LS)
+
+    def sweep():
+        return [model.predict(n) for n in GPU_COUNTS]
+
+    points = benchmark(sweep)
+
+    rows = [
+        (
+            p.n_gpus,
+            f"{p.pflops_total*1000:8.1f}",
+            f"{p.tflops_per_gpu:6.3f}",
+            p.policy,
+        )
+        for p in points
+    ]
+    table = format_table(
+        ["GPUs", "TFlops", "TF/GPU", "tuned comm policy"],
+        rows,
+        title="Fig. 4: Summit strong scaling, single 96^3 x 144 x 20 solve",
+    )
+    report("Fig. 4 (Summit strong scaling)", table)
+
+    by_n = {p.n_gpus: p for p in points}
+    # Approaches ~1.5 PFlops at large scale.
+    peak = max(p.pflops_total for p in points)
+    assert 1.2 < peak < 1.8
+    # Efficiency cliff past ~2000 GPUs: per-GPU rate at 4608 less than
+    # half the 768-GPU rate.
+    assert by_n[4608].tflops_per_gpu < 0.5 * by_n[768].tflops_per_gpu
+    # Total performance still grows up to the multi-thousand-GPU regime.
+    assert by_n[6912].pflops_total > by_n[2304].pflops_total

@@ -1,0 +1,71 @@
+"""Fig. 5: weak scaling on Sierra — SpectrumMPI vs openMPI/mpi_jm vs
+MVAPICH2/mpi_jm.
+
+Groups of 4 nodes (16 GPUs) each solving a 48^3 x 64 x 20 propagator;
+the aggregate sustained PFlops grows nearly linearly with group count.
+SpectrumMPI runs each solve as an individual scheduler job (400 jobs at
+its largest point in the paper); the mpi_jm modes launch everything as
+one (or a few) scheduler submissions.  The top of the curve is the
+paper's ~20 PFlops at ~16k GPUs = 15% of peak.
+"""
+
+from __future__ import annotations
+
+from repro.machines import get_machine
+from repro.utils.tables import format_table
+from repro.workflow.weakscaling import run_weak_scaling
+
+GROUP_COUNTS = [25, 50, 100, 200, 400, 600, 845, 1000]
+SPECTRUM_MAX_GROUPS = 400  # individual-job submission limit in the paper
+
+
+def test_fig5_weak_scaling_sierra(benchmark, report):
+    sierra = get_machine("sierra")
+    results: dict[str, dict[int, float]] = {"spectrum": {}, "openmpi": {}, "mvapich2": {}}
+
+    def sweep():
+        for mode in results:
+            for n in GROUP_COUNTS:
+                if mode == "spectrum" and n > SPECTRUM_MAX_GROUPS:
+                    continue
+                p = run_weak_scaling(sierra, n, mode, rng=11)
+                results[mode][n] = p.sustained_pflops
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n in GROUP_COUNTS:
+        rows.append(
+            (
+                n,
+                n * 16,
+                f"{results['spectrum'].get(n, float('nan')):.2f}" if n <= SPECTRUM_MAX_GROUPS else "-",
+                f"{results['openmpi'][n]:.2f}",
+                f"{results['mvapich2'][n]:.2f}",
+            )
+        )
+    table = format_table(
+        ["groups", "GPUs", "SpectrumMPI PF", "openMPI:mpi_jm PF", "MVAPICH2:mpi_jm PF"],
+        rows,
+        title="Fig. 5: Sierra weak scaling, 4-node (16 GPU) groups, 48^3 x 64 x 20",
+    )
+    top = results["mvapich2"][1000]
+    peak_pct = top * 1e3 / (4000 * 60) * 1.675 * 100
+    summary = (
+        f"MVAPICH2:mpi_jm at 16000 GPUs: {top:.1f} PFlops sustained "
+        f"= {peak_pct:.1f}% of FP32 peak (paper: ~20 PFlops, 15%)"
+    )
+    report("Fig. 5 (Sierra weak scaling by MPI/launch mode)", f"{table}\n\n{summary}")
+
+    # Shape assertions.
+    for mode, pts in results.items():
+        ns = sorted(pts)
+        # near-linear weak scaling: monotone growth with group count
+        assert all(pts[a] < pts[b] for a, b in zip(ns, ns[1:]))
+    # top of the curve ~20 PFlops, ~15% of peak
+    assert 16.0 < top < 24.0
+    assert 11.0 < peak_pct < 19.0
+    # per-GPU rates of the three modes within ~15% of each other
+    at100 = [results[m][100] for m in results]
+    assert max(at100) / min(at100) < 1.20

@@ -1,0 +1,51 @@
+"""Fig. 6: weak scaling on Summit under METAQ.
+
+Groups of 4 nodes (24 GPUs) on a 64^3 x 96 lattice, every task started
+by a single METAQ instance through ``jsrun``.  The paper reports
+essentially perfect weak scaling to ~8 PFlops at ~7000 GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines import get_machine
+from repro.utils.tables import format_table
+from repro.workflow.weakscaling import run_weak_scaling
+
+GROUP_COUNTS = [12, 24, 48, 96, 144, 216, 288]
+DIMS = (64, 64, 64, 96)
+LS = 12
+
+
+def test_fig6_weak_scaling_summit(benchmark, report):
+    summit = get_machine("summit")
+
+    def sweep():
+        return {
+            n: run_weak_scaling(
+                summit, n, "metaq", global_dims=DIMS, ls=LS, rng=13
+            )
+            for n in GROUP_COUNTS
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (n, p.n_gpus, f"{p.sustained_pflops:.2f}", f"{p.gpu_utilization:.3f}")
+        for n, p in points.items()
+    ]
+    table = format_table(
+        ["groups", "GPUs", "PFlops", "GPU util"],
+        rows,
+        title="Fig. 6: Summit weak scaling with METAQ, 24-GPU groups, 64^3 x 96 x 12",
+    )
+    report("Fig. 6 (Summit weak scaling with METAQ)", table)
+
+    # Perfect weak scaling: per-GPU rate flat within a few percent.
+    per_gpu = np.array([p.sustained_pflops / p.n_gpus for p in points.values()])
+    assert per_gpu.std() / per_gpu.mean() < 0.05
+    # Top of the curve: several PFlops at ~7000 GPUs.
+    top = points[GROUP_COUNTS[-1]]
+    assert top.n_gpus == 6912
+    assert 5.0 < top.sustained_pflops < 11.0

@@ -1,0 +1,64 @@
+"""Section V claim: naive bundling idles 20-25%; METAQ recovers it.
+
+"We found that naively bundling tasks ... often caused a 20 to 25%
+idling inefficiency.  ...  This simple software allowed us to recover an
+enormous fraction of our wasted time, effectively providing an
+across-the-board 25% speed-up."
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSim, NaiveBundler, WorkloadSpec, make_propagator_workload
+from repro.jobmgr import METAQ
+from repro.machines import get_machine
+from repro.utils.tables import format_table
+
+N_NODES = 64
+N_TASKS = 160
+
+
+def _sim(rng):
+    sierra = get_machine("sierra")
+    return ClusterSim(N_NODES, sierra.gpus_per_node, sierra.cpu_slots_per_node, rng=rng)
+
+
+def test_metaq_recovers_idle_time(benchmark, report):
+    sierra = get_machine("sierra")
+    spec = WorkloadSpec(n_propagators=N_TASKS, cg_iterations=1500, duration_sigma=0.25)
+    tasks = make_propagator_workload(sierra, spec, rng=21)
+
+    t_naive = NaiveBundler(_sim(22)).run(tasks)
+    sim_naive = _sim(22)
+    NaiveBundler(sim_naive).run(tasks)
+
+    def metaq_run():
+        sim = _sim(22)
+        mq = METAQ(sim)
+        makespan = mq.run(tasks)
+        return sim, mq, makespan
+
+    sim_mq, mq, t_mq = benchmark.pedantic(metaq_run, rounds=3, iterations=1)
+
+    naive_idle = 1.0 - sim_naive.gpu_utilization()
+    metaq_idle = 1.0 - sim_mq.gpu_utilization()
+    speedup = t_naive / t_mq
+
+    table = format_table(
+        ["Scheduler", "makespan (s)", "GPU idle fraction", "speedup vs naive"],
+        [
+            ("naive bundling", f"{t_naive:.0f}", f"{naive_idle:.3f}", "1.00"),
+            ("METAQ backfilling", f"{t_mq:.0f}", f"{metaq_idle:.3f}", f"{speedup:.2f}"),
+        ],
+        title="Section V: naive bundling vs METAQ "
+        f"({N_TASKS} propagator tasks on {N_NODES} nodes)",
+    )
+    detail = (
+        f"mpirun invocations paid by METAQ: {mq.stats.mpirun_invocations} "
+        f"(one per task — the service-node cost mpi_jm later removed)"
+    )
+    report("METAQ backfilling (Section V)", f"{table}\n\n{detail}")
+
+    # Paper band: naive idles ~20-25%; METAQ yields ~25% speedup.
+    assert 0.15 < naive_idle < 0.35
+    assert metaq_idle < 0.12
+    assert 1.15 < speedup < 1.45

@@ -1,0 +1,55 @@
+"""Eq. (1): the Standard-Model neutron lifetime from g_A.
+
+``tau_n = (5172.0 +- 1.0) s / (1 + 3 g_A^2)`` — and the paper's
+motivation: a 1% lattice g_A brackets the experiments, 0.2% would
+discriminate the 879.4(6) s trap value from the 888(2) s beam value.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import neutron_lifetime
+from repro.analysis.lifetime import TAU_BEAM, TAU_TRAP
+from repro.utils.tables import format_table
+
+CASES = [
+    ("CalLat 1% (the paper's result)", 1.271, 0.013),
+    ("CMS favoured", 1.2755, 0.0011),
+    ("0.2% goal", 1.2755, 1.2755 * 0.002),
+    ("beam-implied", 1.2681, 0.0017),
+]
+
+
+def test_neutron_lifetime_equation(benchmark, report):
+    def sweep():
+        return [(label, neutron_lifetime(ga, err)) for label, ga, err in CASES]
+
+    preds = benchmark(sweep)
+
+    rows = []
+    for label, p in preds:
+        rows.append(
+            (
+                label,
+                f"{p.g_a:.4f} +- {p.g_a_error:.4f}",
+                f"{p.tau:.1f} +- {p.error:.1f}",
+                f"{p.sigma_from(TAU_TRAP):.1f}",
+                f"{p.sigma_from(TAU_BEAM):.1f}",
+            )
+        )
+    table = format_table(
+        ["scenario", "g_A", "tau_n (s)", "sigma vs trap", "sigma vs beam"],
+        rows,
+        title="Eq. (1): tau_n = 5172.0 / (1 + 3 g_A^2) s  "
+        "[trap 879.4(6) s, beam 888(2) s]",
+    )
+    report("Eq. (1) neutron lifetime", table)
+
+    by_label = dict(preds)
+    # CMS g_A reproduces the trap lifetime.
+    assert abs(by_label["CMS favoured"].tau - TAU_TRAP[0]) < 1.0
+    # A 1% g_A cannot discriminate trap from beam (both within ~1 sigma)...
+    one_pct = by_label["CalLat 1% (the paper's result)"]
+    assert one_pct.sigma_from(TAU_TRAP) < 1.5 and one_pct.sigma_from(TAU_BEAM) < 1.5
+    # ... while the 0.2% goal separates them.
+    goal = by_label["0.2% goal"]
+    assert goal.sigma_from(TAU_BEAM) > 2.0

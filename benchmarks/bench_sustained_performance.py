@@ -1,0 +1,54 @@
+"""Section VII headline numbers: sustained fractions and machine speedups.
+
+"a sustained performance of 20% on the minimal number of nodes ...
+bringing the sustained performance at scale from 15% to 20% ... a peak
+sustained performance on Sierra of nearly 20 PFlops, which amounts to
+15% of peak ... the machine-to-machine speed up of Sierra and Summit
+over Titan, for our research program, is a factor of approximately 12
+and 15 respectively."
+"""
+
+from __future__ import annotations
+
+from repro.machines import get_machine
+from repro.perfmodel import solver_performance
+from repro.utils.tables import format_table
+from repro.workflow import machine_to_machine_speedup, sustained_application_pflops
+
+
+def test_sustained_performance_and_speedups(benchmark, report):
+    sierra = get_machine("sierra")
+
+    def headline():
+        small = solver_performance(sierra, (48, 48, 48, 64), 20, 16)
+        at_scale = sustained_application_pflops(sierra, 3388, mpi_performance_factor=0.93)
+        return small, at_scale
+
+    small, at_scale = benchmark(headline)
+
+    pct_small = small.pct_peak(sierra.gpu.fp32_tflops)
+    pct_scale = at_scale * 1e3 / (3388 * 60) * 1.675 * 100
+    untuned_headroom = sustained_application_pflops(sierra, 3388, mpi_performance_factor=1.0)
+    pct_headroom = untuned_headroom * 1e3 / (3388 * 60) * 1.675 * 100
+    speedups = {n: machine_to_machine_speedup(n) for n in ("sierra", "summit")}
+
+    table = format_table(
+        ["Quantity", "paper", "measured"],
+        [
+            ("sustained % of peak, minimal nodes", "20%", f"{pct_small:.1f}%"),
+            ("sustained PFlops, 3388 Sierra nodes", "~20 PF", f"{at_scale:.1f} PF"),
+            ("sustained % of peak at scale (MVAPICH2)", "15%", f"{pct_scale:.1f}%"),
+            ("... with MVAPICH2 fully tuned", "20%", f"{pct_headroom:.1f}%"),
+            ("Sierra speedup over Titan program", "~12x", f"{speedups['sierra']:.1f}x"),
+            ("Summit speedup over Titan program", "~15x", f"{speedups['summit']:.1f}x"),
+        ],
+        title="Section VII: sustained application performance",
+    )
+    report("Sustained performance & machine speedups (Section VII)", table)
+
+    assert abs(pct_small - 20.0) < 2.0
+    assert 16.0 < at_scale < 24.0
+    assert 13.0 < pct_scale < 20.0
+    assert pct_headroom > pct_scale  # the tuning headroom the paper cites
+    assert abs(speedups["sierra"] - 12.0) < 2.5
+    assert abs(speedups["summit"] - 15.0) < 3.5

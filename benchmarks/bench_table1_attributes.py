@@ -1,0 +1,18 @@
+"""Table I: performance attributes of the measurement."""
+
+from __future__ import annotations
+
+from repro.machines import PERFORMANCE_ATTRIBUTES
+from repro.utils.tables import format_table
+
+
+def test_table1_attributes(benchmark, report):
+    table = benchmark(
+        format_table,
+        ["Attribute", "Value"],
+        list(PERFORMANCE_ATTRIBUTES.items()),
+        title="Table I: performance attributes",
+    )
+    assert "time to solution" in table
+    assert "mixed-precision" in table
+    report("Table I (performance attributes)", table)

@@ -1,0 +1,27 @@
+"""Table II: comparison of the systems used in the study."""
+
+from __future__ import annotations
+
+from repro.machines import MACHINES
+from repro.utils.tables import format_table
+
+
+def test_table2_systems(benchmark, report):
+    headers = [
+        "Attribute", "nodes", "GPUs/node", "CPU", "GPU",
+        "FP32 TFLOPS/node", "GPU bw GB/s/node", "CPU-GPU bw GB/s",
+        "Interconnect", "GCC", "MPI", "CUDA",
+    ]
+
+    def build():
+        return format_table(
+            headers,
+            [m.table_row() for m in MACHINES.values()],
+            title="Table II: systems",
+        )
+
+    table = benchmark(build)
+    # Spot-check against the paper's numbers.
+    assert "18688" in table and "4200" in table and "4600" in table
+    assert "K20X" in table and "V100" in table
+    report("Table II (systems)", table)

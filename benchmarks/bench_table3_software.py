@@ -1,0 +1,19 @@
+"""Table III: application software, and the subsystems replacing it here."""
+
+from __future__ import annotations
+
+from repro.machines import SOFTWARE_STACK
+from repro.utils.tables import format_table
+
+
+def test_table3_software(benchmark, report):
+    def build():
+        return format_table(
+            ["Name", "commit id", "repository", "reproduced by"],
+            [(p.name, p.commit, p.repository, p.reproduced_by) for p in SOFTWARE_STACK],
+            title="Table III: application software",
+        )
+
+    table = benchmark(build)
+    assert "QUDA" in table and "mpi_jm" in table
+    report("Table III (application software)", table)

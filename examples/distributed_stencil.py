@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The distributed stencil pipeline, executed with real data.
+
+Section IV's four steps — pack halos, communicate, compute the interior,
+complete the boundary — run on simulated MPI ranks holding real field
+data.  The distributed Wilson application is verified against the
+single-rank operator, the measured wire traffic against the analytic
+halo model, and the shrinking interior fraction shows exactly why strong
+scaling hits a wall (nothing left to hide communication behind).
+
+Run:  python examples/distributed_stencil.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import DistributedWilson
+from repro.dirac import WilsonOperator
+from repro.lattice import GaugeField, Geometry
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    geom = Geometry(8, 8, 4, 8)
+    gauge = GaugeField.random(geom, make_rng(5), scale=0.4)
+    rng = make_rng(6)
+    psi = rng.normal(size=geom.dims + (4, 3)) + 1j * rng.normal(size=geom.dims + (4, 3))
+    ref = WilsonOperator(gauge, mass=0.2).apply(psi)
+    print(f"lattice {geom}; applying the Wilson stencil across rank grids:\n")
+
+    rows = []
+    for grid in ((1, 1, 1, 2), (2, 1, 1, 2), (2, 2, 1, 2), (2, 2, 2, 2), (4, 2, 1, 2)):
+        dw = DistributedWilson(gauge, 0.2, grid)
+        out = dw.apply(psi)
+        dev = np.abs(out - ref).max()
+        rows.append(
+            (
+                "x".join(map(str, grid)),
+                dw.decomp.n_ranks,
+                f"{dev:.1e}",
+                dw.fabric.messages,
+                f"{dw.fabric.bytes_moved/1024:.0f} KiB",
+                "yes" if dw.fabric.bytes_moved == dw.expected_wire_bytes_per_apply() else "NO",
+                f"{dw.interior_fraction():.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["rank grid", "ranks", "max dev vs 1 rank", "messages", "wire traffic",
+             "matches model", "interior fraction"],
+            rows,
+            title="distributed Wilson dslash (pack -> exchange -> interior -> boundary)",
+        )
+    )
+    print()
+    print("Every decomposition reproduces the single-rank stencil to machine")
+    print("precision, the fabric traffic equals the halo-geometry model, and the")
+    print("interior fraction — the work available to overlap communication with —")
+    print("collapses as the local volume shrinks: the strong-scaling wall of Fig. 4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Generating a dynamical (two-flavor) ensemble with HMC.
+
+The ensembles the paper measures on include the fermion determinant:
+every molecular-dynamics step solves the Dirac equation inside the
+force.  This example runs the two-flavor Wilson HMC on a tiny lattice,
+shows the accept/reject bookkeeping and the sea-quark effect on the
+plaquette, and measures the pion on the resulting configurations.
+
+Run:  python examples/dynamical_ensemble.py   (~2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions import compute_wilson_propagator, pion_correlator
+from repro.dirac import WilsonOperator
+from repro.hmc import TwoFlavorWilsonHMC
+from repro.lattice import GaugeField, Geometry, PureGaugeHMC
+from repro.solvers import ConjugateGradient
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+BETA = 5.3
+MASS = 0.4
+N_THERM = 6
+N_MEASURE = 4
+
+
+def main() -> None:
+    geom = Geometry(2, 2, 2, 4)
+
+    # Quenched baseline at the same beta for comparison.
+    quenched = GaugeField.random(geom, make_rng(11), scale=0.4)
+    qhmc = PureGaugeHMC(beta=BETA, n_steps=12, rng=make_rng(12))
+    for _ in range(N_THERM + N_MEASURE):
+        qhmc.trajectory(quenched)
+
+    # Dynamical run: the determinant enters through pseudofermions.
+    gauge = GaugeField.random(geom, make_rng(13), scale=0.4)
+    hmc = TwoFlavorWilsonHMC(beta=BETA, mass=MASS, n_steps=14, rng=make_rng(14))
+    rows = []
+    plaqs = []
+    print(f"two-flavor Wilson HMC at beta={BETA}, m={MASS} on {geom}:")
+    for i in range(N_THERM + N_MEASURE):
+        r = hmc.trajectory(gauge)
+        rows.append(
+            (i, f"{r.delta_h:+.4f}", "yes" if r.accepted else "no",
+             f"{r.plaquette:.4f}", r.cg_iterations)
+        )
+        if i >= N_THERM:
+            plaqs.append(r.plaquette)
+    print(format_table(
+        ["traj", "dH", "accepted", "plaquette", "CG iters (force+action)"],
+        rows,
+        title="trajectory log",
+    ))
+    print(f"\ndynamical plaquette {np.mean(plaqs):.4f} vs quenched "
+          f"{quenched.plaquette():.4f} at the same beta")
+    print("(the determinant shifts the effective coupling; with sea quarks")
+    print(" this heavy and a handful of trajectories the shift sits inside")
+    print(" the Monte Carlo noise — production runs resolve it clearly)")
+
+    # Measure the pion on the final dynamical configuration.
+    w = WilsonOperator(gauge, mass=MASS)
+    prop, _ = compute_wilson_propagator(w, solver=ConjugateGradient(tol=1e-9, max_iter=5000))
+    pion = pion_correlator(prop)
+    print("\npion correlator on the last configuration:",
+          " ".join(f"{c:.3e}" for c in pion))
+
+
+if __name__ == "__main__":
+    main()

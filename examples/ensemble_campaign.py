@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""A miniature measurement campaign with ensemble management and I/O.
+
+The Fig. 2 workflow at laptop scale: generate a quenched ensemble,
+persist every configuration to the field container, measure pion and
+nucleon correlators per configuration, persist the results, and run the
+jackknife analysis over the ensemble — the whole loop the paper executes
+with 10,000 propagators per ensemble on Sierra.
+
+Run:  python examples/ensemble_campaign.py   (~3 minutes)
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import jackknife
+from repro.contractions import compute_wilson_propagator, pion_correlator, proton_correlator
+from repro.dirac import WilsonOperator
+from repro.io import FieldFile
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater
+from repro.solvers import ConjugateGradient
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+N_CONFIGS = 6
+N_THERM = 12
+N_SKIP = 4
+BETA = 6.0
+
+
+def generate_ensemble(geom: Geometry, outdir: Path) -> list[Path]:
+    """Heatbath ensemble generation with decorrelation sweeps."""
+    gauge = GaugeField.hot(geom, make_rng(41))
+    updater = HeatbathUpdater(beta=BETA, rng=make_rng(42))
+    updater.thermalize(gauge, N_THERM)
+    paths = []
+    for i in range(N_CONFIGS):
+        updater.thermalize(gauge, N_SKIP)
+        ff = FieldFile({"beta": BETA, "config": i, "plaquette": gauge.plaquette()})
+        ff.add("links", gauge.u)
+        path = outdir / f"cfg_{i:03d}.lq"
+        ff.save(path)
+        paths.append(path)
+        print(f"  cfg {i}: plaquette {gauge.plaquette():.4f} -> {path.name}")
+    return paths
+
+
+def measure(geom: Geometry, cfg_path: Path, outdir: Path) -> Path:
+    """Propagator + contractions for one stored configuration."""
+    ff = FieldFile.load(cfg_path)
+    gauge = GaugeField(geom, ff["links"])
+    wilson = WilsonOperator(gauge, mass=0.35)
+    prop, _ = compute_wilson_propagator(
+        wilson, solver=ConjugateGradient(tol=1e-9, max_iter=8000)
+    )
+    out = FieldFile({"source": cfg_path.name})
+    out.add("pion", pion_correlator(prop))
+    out.add("proton", proton_correlator(prop, prop))
+    path = outdir / cfg_path.name.replace("cfg", "meas")
+    out.save(path)
+    return path
+
+
+def main() -> None:
+    geom = Geometry(4, 4, 4, 8)
+    with tempfile.TemporaryDirectory() as tmp:
+        outdir = Path(tmp)
+        print(f"generating {N_CONFIGS} configurations at beta={BETA}...")
+        cfgs = generate_ensemble(geom, outdir)
+
+        print("\nmeasuring (12 propagator solves per configuration)...")
+        meas_paths = [measure(geom, p, outdir) for p in cfgs]
+
+        pions = np.array([FieldFile.load(p)["pion"] for p in meas_paths])
+        protons = np.array([FieldFile.load(p)["proton"].real for p in meas_paths])
+
+    # Jackknife effective masses over the ensemble.
+    def m_eff(mean_corr: np.ndarray) -> np.ndarray:
+        return np.log(np.abs(mean_corr[:-1] / mean_corr[1:]))
+
+    pi_m, pi_e = jackknife(pions, estimator=m_eff)
+    pr_m, pr_e = jackknife(protons, estimator=m_eff)
+
+    rows = [
+        (t, f"{pi_m[t]:+.3f} +- {pi_e[t]:.3f}", f"{pr_m[t]:+.3f} +- {pr_e[t]:.3f}")
+        for t in range(min(5, len(pi_m)))
+    ]
+    print()
+    print(
+        format_table(
+            ["t", "pion m_eff", "nucleon m_eff"],
+            rows,
+            title=f"jackknife effective masses over {N_CONFIGS} configurations",
+        )
+    )
+    print("\nScale this loop by ~10,000 propagators and four machine generations")
+    print("and you have the paper's Fig. 2 workflow.")
+
+
+if __name__ == "__main__":
+    main()

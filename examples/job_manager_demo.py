@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Job management on a simulated Sierra allocation.
+
+Runs the same propagator campaign under three schedulers — naive
+bundling, METAQ backfilling and mpi_jm with CPU/GPU co-scheduling — and
+prints makespans, utilizations and the contraction-amortization effect.
+
+Run:  python examples/job_manager_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSim, NaiveBundler, WorkloadSpec, make_propagator_workload
+from repro.cluster.trace import render_gantt
+from repro.jobmgr import METAQ, MpiJm, MpiJmConfig, startup_time
+from repro.machines import get_machine
+from repro.utils.tables import format_table
+from repro.workflow import ApplicationWorkflow
+
+
+def fresh_sim(machine, n_nodes, seed=3):
+    return ClusterSim(n_nodes, machine.gpus_per_node, machine.cpu_slots_per_node, rng=seed)
+
+
+def main() -> None:
+    sierra = get_machine("sierra")
+    n_nodes = 64
+    spec = WorkloadSpec(n_propagators=120, cg_iterations=1500, duration_sigma=0.22)
+    tasks = make_propagator_workload(sierra, spec, rng=1)
+    print(f"workload: {len(tasks)} propagator solves, 4 nodes (16 GPUs) each, "
+          f"on a {n_nodes}-node Sierra allocation\n")
+
+    rows = []
+
+    sim = fresh_sim(sierra, n_nodes)
+    t = NaiveBundler(sim).run(tasks)
+    rows.append(("naive bundling", f"{t:.0f}", f"{sim.gpu_utilization():.3f}", "-"))
+    print("naive bundling (note the per-bundle idle gaps):")
+    print(render_gantt(sim, width=64, max_nodes=8))
+    print()
+
+    sim = fresh_sim(sierra, n_nodes)
+    mq = METAQ(sim)
+    t_mq = mq.run(tasks)
+    rows.append(
+        ("METAQ", f"{t_mq:.0f}", f"{sim.gpu_utilization():.3f}",
+         f"{mq.stats.mpirun_invocations} mpiruns")
+    )
+    print("METAQ backfilling (the gaps are gone):")
+    print(render_gantt(sim, width=64, max_nodes=8))
+    print()
+
+    sim = fresh_sim(sierra, n_nodes)
+    jm = MpiJm(sim, MpiJmConfig(lump_size=32, block_size=4), include_startup=True)
+    t_jm = jm.run(tasks)
+    rows.append(
+        ("mpi_jm", f"{t_jm:.0f}", f"{sim.gpu_utilization():.3f}",
+         f"startup {jm.stats.startup_seconds:.0f}s, {jm.stats.spawns} spawns, 1 job")
+    )
+
+    print(format_table(
+        ["scheduler", "makespan (s)", "GPU util", "notes"],
+        rows,
+        title="the same campaign under three schedulers",
+    ))
+
+    print()
+    print(f"mpi_jm partitioned startup at Sierra scale: "
+          f"{startup_time(4224, 128)/60:.1f} minutes for 4224 nodes "
+          f"(paper: 3-5 minutes)")
+
+    # CPU/GPU co-scheduling: contractions for free.
+    wf = ApplicationWorkflow(sierra, n_nodes=32,
+                             spec=WorkloadSpec(n_propagators=48, cg_iterations=1500))
+    co = wf.run(co_schedule=True)
+    serial = wf.run(co_schedule=False)
+    print()
+    print(format_table(
+        ["mode", "contraction overhead"],
+        [
+            ("contractions serialized after propagators", f"{100*serial.contraction_overhead_fraction:.1f}%"),
+            ("contractions co-scheduled on idle CPUs", f"{100*co.contraction_overhead_fraction:.2f}%"),
+        ],
+        title="mpi_jm CPU/GPU co-scheduling (Fig. 2's 3% brought to zero)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: a femtoscale universe in about a minute.
+
+Generates a small quenched SU(3) gauge ensemble with the heatbath
+algorithm, solves domain-wall quark propagators on the last
+configuration, and prints hadron correlators — the minimal end-to-end
+tour of the lattice stack.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions import compute_propagator, pion_correlator, proton_correlator
+from repro.dirac import MobiusOperator
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater
+from repro.solvers import ConjugateGradient
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1. A small periodic lattice: 4^3 x 8 sites.
+    geom = Geometry(4, 4, 4, 8)
+    print(f"lattice: {geom} ({geom.volume} sites)")
+
+    # 2. Quenched gauge generation at beta = 6.0 (Cabibbo-Marinari
+    #    heatbath + overrelaxation).
+    gauge = GaugeField.hot(geom, make_rng(1))
+    updater = HeatbathUpdater(beta=6.0, rng=make_rng(2))
+    history = updater.thermalize(gauge, 20)
+    print(f"plaquette after 20 sweeps: {history[-1]:.4f} (hot start {history[0]:.4f})")
+
+    # 3. Mobius domain-wall propagator: 12 red-black preconditioned
+    #    CGNE solves (the paper's solver, in NumPy).
+    mobius = MobiusOperator(gauge, ls=6, mass=0.08)
+    solver = ConjugateGradient(tol=1e-8, max_iter=6000)
+    print("solving 12 spin-colour systems (this is the 97% of Fig. 2)...")
+    prop, stats = compute_propagator(mobius, solver=solver)
+    iters = [s.iterations for s in stats]
+    print(f"CG iterations per column: min {min(iters)}, max {max(iters)}")
+
+    # 4. Hadron correlators and effective masses.
+    pion = pion_correlator(prop)
+    proton = proton_correlator(prop, prop).real
+    rows = []
+    for t in range(geom.lt - 1):
+        m_pi = np.log(abs(pion[t] / pion[t + 1]))
+        m_p = np.log(abs(proton[t] / proton[t + 1])) if proton[t + 1] != 0 else float("nan")
+        rows.append((t, f"{pion[t]:.4e}", f"{m_pi:+.3f}", f"{proton[t]:+.4e}", f"{m_p:+.3f}"))
+    print()
+    print(
+        format_table(
+            ["t", "C_pi(t)", "m_eff_pi", "C_N(t)", "m_eff_N"],
+            rows,
+            title="hadron correlators on one configuration",
+        )
+    )
+    print()
+    print("The nucleon is heavier than the pion, and both correlators decay —")
+    print("with an ensemble of configurations this becomes Fig. 1's input data.")
+
+
+if __name__ == "__main__":
+    main()

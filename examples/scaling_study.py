@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Scaling study: Figs. 3-5 from the performance model and simulator.
+
+Prints the strong-scaling comparison across three GPU generations, the
+Summit large-lattice curve with its efficiency cliff, the tuned
+communication policies, and a condensed weak-scaling table.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.autotune import CommPolicyTuner
+from repro.machines import get_machine
+from repro.perfmodel import SolverPerfModel, strong_scaling
+from repro.utils.tables import format_table
+from repro.workflow.weakscaling import run_weak_scaling
+
+
+def strong_scaling_table() -> None:
+    counts = [16, 32, 64, 128]
+    rows = []
+    for name in ("titan", "ray", "sierra"):
+        m = get_machine(name)
+        for p in strong_scaling(m, (48, 48, 48, 64), 20, gpu_counts=counts):
+            rows.append(
+                (
+                    m.name,
+                    p.n_gpus,
+                    f"{p.tflops_total:.1f}",
+                    f"{p.pct_peak(m.gpu.fp32_tflops):.1f}",
+                    f"{p.bw_per_gpu_gbs:.0f}",
+                    p.policy,
+                )
+            )
+    print(
+        format_table(
+            ["machine", "GPUs", "TFlops", "% peak", "GB/s/GPU", "comm policy"],
+            rows,
+            title="Fig. 3: strong scaling, 48^3 x 64 x 20",
+        )
+    )
+
+
+def summit_cliff_table() -> None:
+    summit = get_machine("summit")
+    model = SolverPerfModel(summit, (96, 96, 96, 144), 20)
+    rows = []
+    for n in (384, 768, 1536, 2304, 4608, 6912, 9216):
+        p = model.predict(n)
+        rows.append((n, f"{p.pflops_total:.2f}", f"{p.tflops_per_gpu:.3f}"))
+    print()
+    print(
+        format_table(
+            ["GPUs", "PFlops", "TF/GPU"],
+            rows,
+            title="Fig. 4: Summit, single 96^3 x 144 x 20 solve "
+            "(note the efficiency cliff past ~2000 GPUs)",
+        )
+    )
+
+
+def comm_tuning_table() -> None:
+    tuner = CommPolicyTuner()
+    rows = []
+    for name in ("titan", "ray", "sierra", "summit"):
+        m = get_machine(name)
+        res = tuner.tune(m, (48, 48, 48, 64), 20, 16 * m.gpus_per_node)
+        rows.append((m.name, res.best.name, f"{res.speedup_vs_worst:.2f}x"))
+    print()
+    print(
+        format_table(
+            ["machine", "tuned policy (16 nodes)", "best/worst"],
+            rows,
+            title="communication-policy autotuning",
+        )
+    )
+
+
+def weak_scaling_table() -> None:
+    sierra = get_machine("sierra")
+    rows = []
+    for n_groups in (50, 200, 845):
+        for mode in ("spectrum", "mvapich2"):
+            if mode == "spectrum" and n_groups > 400:
+                continue
+            p = run_weak_scaling(sierra, n_groups, mode, rng=5)
+            rows.append((mode, n_groups, p.n_gpus, f"{p.sustained_pflops:.2f}"))
+    print()
+    print(
+        format_table(
+            ["mode", "groups", "GPUs", "sustained PFlops"],
+            rows,
+            title="Fig. 5 (condensed): Sierra weak scaling",
+        )
+    )
+
+
+def main() -> None:
+    strong_scaling_table()
+    summit_cliff_table()
+    comm_tuning_table()
+    weak_scaling_table()
+
+
+if __name__ == "__main__":
+    main()

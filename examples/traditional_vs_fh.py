@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Traditional sequential-source method vs Feynman-Hellmann, on a real lattice.
+
+Computes a pion matrix element both ways on the same configuration:
+
+* traditional: one sequential solve *per source-sink separation*,
+  giving the insertion-time profile R(tau) at that separation;
+* Feynman-Hellmann: one extra solve total, giving the correlator
+  derivative at *every* separation at once.
+
+The two are tied together by an exact identity (sum of the traditional
+3pt over insertion times == the FH correlator at that sink time), which
+the script verifies — this is the algebra behind the paper's
+exponential improvement.
+
+Run:  python examples/traditional_vs_fh.py   (~2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions import (
+    compute_wilson_propagator,
+    pion_three_point,
+    pion_two_point_matrix,
+    sequential_propagator,
+)
+from repro.contractions.propagator import Propagator
+from repro.core.feynman_hellmann import AxialInsertion4D
+from repro.dirac import WilsonOperator
+from repro.dirac import gamma as g
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater
+from repro.solvers import ConjugateGradient, solve_normal_equations
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    geom = Geometry(4, 4, 4, 8)
+    gauge = GaugeField.hot(geom, make_rng(31))
+    HeatbathUpdater(beta=6.0, rng=make_rng(32)).thermalize(gauge, 12)
+    wilson = WilsonOperator(gauge, mass=0.35)
+    solver = ConjugateGradient(tol=1e-10, max_iter=8000)
+
+    print("standard propagator (12 solves)...")
+    u, _ = compute_wilson_propagator(wilson, solver=solver)
+
+    print("Feynman-Hellmann propagator (12 more solves, buys ALL separations)...")
+    ins = AxialInsertion4D()
+    data_fh = np.zeros_like(u.data)
+    for spin in range(4):
+        for color in range(3):
+            b = ins.apply(u.data[..., :, spin, :, color])
+            res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, solver)
+            data_fh[..., :, spin, :, color] = res.x
+    u_fh = Propagator(data_fh, u.source)
+    c_fh = pion_two_point_matrix(u_fh, u)  # FH correlator, every t at once
+
+    tseps = (3, 5)
+    rows = []
+    for t_snk in tseps:
+        print(f"traditional sequential solve for t_snk = {t_snk} (12 more solves)...")
+        seq = sequential_propagator(wilson, u, t_snk, solver)
+        c3 = pion_three_point(seq, u, g.AXIAL_GAMMA3)
+        fh_here = c_fh[t_snk]
+        rows.append(
+            (
+                t_snk,
+                f"{c3.sum().real:+.6e}",
+                f"{fh_here.real:+.6e}",
+                f"{abs(c3.sum() - fh_here) / abs(fh_here):.1e}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["t_snk", "sum_tau C_3pt (traditional)", "C_FH(t_snk) (one solve)", "rel dev"],
+            rows,
+            title="exact method equivalence on one configuration",
+        )
+    )
+    print()
+    print(f"cost: traditional = 12 solves PER separation ({len(tseps)} separations "
+          f"here, 10+ in production);")
+    print("      Feynman-Hellmann = 12 solves for ALL separations.")
+    print("Same derivative, exponentially better noise at small t — Fig. 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""The Standard-Model neutron lifetime — Eq. (1) of the paper.
+
+``tau_n = (5172.0 +- 1.0) / (1 + 3 g_A^2) seconds``
+
+[Czarnecki, Marciano, Sirlin, PRL 120 (2018) 202002].  Given a lattice
+``g_A`` with uncertainty, this propagates to the lifetime and quantifies
+the paper's motivation: resolving the 879.4(6) s (trap) vs 888(2) s
+(beam) experimental discrepancy requires ``g_A`` to 0.2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "NEUTRON_LIFETIME_NUMERATOR",
+    "NEUTRON_LIFETIME_NUMERATOR_ERR",
+    "TAU_TRAP",
+    "TAU_BEAM",
+    "LifetimePrediction",
+    "neutron_lifetime",
+]
+
+#: Numerator of Eq. (1), in seconds.
+NEUTRON_LIFETIME_NUMERATOR = 5172.0
+NEUTRON_LIFETIME_NUMERATOR_ERR = 1.0
+
+#: Experimental values quoted in the paper (seconds).
+TAU_TRAP = (879.4, 0.6)
+TAU_BEAM = (888.0, 2.0)
+
+
+@dataclass(frozen=True)
+class LifetimePrediction:
+    """A neutron-lifetime prediction with propagated uncertainty."""
+
+    tau: float
+    error: float
+    g_a: float
+    g_a_error: float
+
+    def sigma_from(self, experiment: tuple[float, float]) -> float:
+        """Tension (in combined standard deviations) with an experiment."""
+        val, err = experiment
+        return abs(self.tau - val) / np.hypot(self.error, err)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"tau_n = {self.tau:.1f} +- {self.error:.1f} s (g_A = {self.g_a:.4f} +- {self.g_a_error:.4f})"
+
+
+def neutron_lifetime(g_a: float, g_a_error: float = 0.0) -> LifetimePrediction:
+    """Evaluate Eq. (1) with first-order error propagation.
+
+    ``dtau/dgA = -6 gA tau / (1 + 3 gA^2)``; the numerator uncertainty
+    (radiative corrections) is added in quadrature.
+    """
+    if g_a <= 0:
+        raise ValueError(f"g_A must be positive, got {g_a}")
+    denom = 1.0 + 3.0 * g_a**2
+    tau = NEUTRON_LIFETIME_NUMERATOR / denom
+    dtau_dga = -6.0 * g_a * tau / denom
+    err = np.hypot(dtau_dga * g_a_error, NEUTRON_LIFETIME_NUMERATOR_ERR / denom)
+    return LifetimePrediction(tau=float(tau), error=float(err), g_a=g_a, g_a_error=g_a_error)

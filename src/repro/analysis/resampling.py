@@ -1,0 +1,89 @@
+"""Jackknife and bootstrap resampling for correlated lattice data.
+
+Monte Carlo correlator samples are correlated across timeslices (and the
+derived quantities are nonlinear in the means), so errors come from
+resampling, not naive standard deviations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["jackknife", "jackknife_covariance", "bootstrap"]
+
+
+def jackknife(
+    samples: np.ndarray,
+    estimator: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delete-one jackknife mean and error of a derived quantity.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n, ...)`` — one row per configuration.
+    estimator:
+        Function mapping a sample mean (shape ``samples.shape[1:]``) to
+        the derived quantity.  Defaults to the identity (errors of the
+        mean itself).
+
+    Returns
+    -------
+    (value, error):
+        The estimator at the full-sample mean and its jackknife error.
+    """
+    samples = np.asarray(samples)
+    n = samples.shape[0]
+    if n < 2:
+        raise ValueError(f"jackknife needs >= 2 samples, got {n}")
+    est = estimator or (lambda m: m)
+
+    total = samples.sum(axis=0)
+    center = np.asarray(est(total / n))
+    reps = np.empty((n,) + center.shape, dtype=center.dtype)
+    for i in range(n):
+        reps[i] = est((total - samples[i]) / (n - 1))
+    mean_rep = reps.mean(axis=0)
+    var = (n - 1) / n * ((reps - mean_rep) ** 2).sum(axis=0)
+    return center, np.sqrt(np.abs(var))
+
+
+def jackknife_covariance(samples: np.ndarray) -> np.ndarray:
+    """Covariance of the *mean* of ``(n, k)`` samples (for correlated fits)."""
+    samples = np.asarray(samples)
+    n = samples.shape[0]
+    if n < 2:
+        raise ValueError(f"need >= 2 samples, got {n}")
+    dev = samples - samples.mean(axis=0, keepdims=True)
+    return dev.T @ dev / (n * (n - 1))
+
+
+def bootstrap(
+    samples: np.ndarray,
+    estimator: Callable[[np.ndarray], np.ndarray] | None = None,
+    n_boot: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bootstrap mean and error of a derived quantity.
+
+    Same contract as :func:`jackknife`; resamples configurations with
+    replacement ``n_boot`` times.
+    """
+    samples = np.asarray(samples)
+    n = samples.shape[0]
+    if n < 2:
+        raise ValueError(f"need >= 2 samples, got {n}")
+    if n_boot < 2:
+        raise ValueError(f"need >= 2 bootstrap draws, got {n_boot}")
+    rng = make_rng(rng)
+    est = estimator or (lambda m: m)
+    center = np.asarray(est(samples.mean(axis=0)))
+    reps = np.empty((n_boot,) + center.shape, dtype=center.dtype)
+    for b in range(n_boot):
+        idx = rng.integers(0, n, size=n)
+        reps[b] = est(samples[idx].mean(axis=0))
+    return center, reps.std(axis=0, ddof=1)

@@ -1,0 +1,53 @@
+"""Signal-to-noise diagnostics (the Parisi-Lepage exponential).
+
+The nucleon correlator's variance is controlled by the lightest state in
+the squared-correlator channel (three pions), so
+
+``StN(t) = mean(C(t)) / std(C(t)) ~ exp(-(m_N - 3/2 m_pi) t)``.
+
+This module measures that decay from samples and fits its exponent — the
+quantitative villain behind the paper's Fig. 1 and the reason an
+exponentially better algorithm beats a polynomially bigger machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["signal_to_noise", "fit_stn_decay"]
+
+
+def signal_to_noise(samples: np.ndarray) -> np.ndarray:
+    """Per-timeslice StN of ``(n, lt)`` correlator samples.
+
+    Uses the error of the *mean* (``std / sqrt(n)``), matching how the
+    paper quotes precision.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    n = samples.shape[0]
+    if n < 2:
+        raise ValueError(f"need >= 2 samples, got {n}")
+    mean = samples.mean(axis=0)
+    err = samples.std(axis=0, ddof=1) / np.sqrt(n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(err > 0, np.abs(mean) / err, np.inf)
+
+
+def fit_stn_decay(stn: np.ndarray, t_min: int = 1, t_max: int | None = None) -> tuple[float, float]:
+    """Fit ``StN(t) = A exp(-m_eff t)`` by linear regression in log space.
+
+    Returns ``(decay_rate, amplitude)``; ``decay_rate`` should come out
+    near ``m_N - 3/2 m_pi`` for nucleon data (tested against the
+    synthetic generator's injected exponent).
+    """
+    stn = np.asarray(stn, dtype=np.float64)
+    t_max = len(stn) if t_max is None else min(t_max, len(stn))
+    if not 0 <= t_min < t_max - 1:
+        raise ValueError(f"bad window [{t_min}, {t_max})")
+    t = np.arange(t_min, t_max, dtype=np.float64)
+    y = stn[t_min:t_max]
+    good = np.isfinite(y) & (y > 0)
+    if good.sum() < 2:
+        raise ValueError("not enough finite StN points to fit")
+    slope, intercept = np.polyfit(t[good], np.log(y[good]), 1)
+    return float(-slope), float(np.exp(intercept))

@@ -1,0 +1,62 @@
+"""The PCAC (axial Ward identity) quark mass.
+
+The partially-conserved axial current relation
+``partial_mu <A_mu(x) P(0)> = 2 m_PCAC <P(x) P(0)>`` defines the quark
+mass actually felt by the fermion action — the standard check that a
+Dirac-operator implementation has the right chiral structure.  For
+Wilson fermions ``m_PCAC`` differs from the bare mass by an additive
+shift (the famous additive renormalization); it must be *constant in t*
+and *monotone in the bare mass* (both tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions.propagator import Propagator
+from repro.dirac import gamma as g
+
+__all__ = ["axial_pseudoscalar_correlator", "pcac_mass"]
+
+
+def axial_pseudoscalar_correlator(prop: Propagator) -> np.ndarray:
+    """``C_AP(t) = sum_x <A_4(x,t) P(0)>`` from one propagator.
+
+    With degenerate quarks and gamma_5-hermiticity:
+    ``C_AP(t) = -sum_x tr[ S(x)^H gamma_4 S(x) ]`` (the gamma_5 factors
+    from the axial current and the pseudoscalar source cancel against
+    the hermiticity conjugations; the overall sign is fixed so that
+    ``m_PCAC > 0`` for positive bare mass in the DeGrand-Rossi basis —
+    at tree level ``m_PCAC == m0`` to discretization accuracy, tested).
+    """
+    s = prop.shifted_to_origin()
+    site = np.einsum(
+        "xyztABab,AC,xyztCBab->xyzt",
+        np.conjugate(s),
+        g.GAMMA[3],
+        s,
+        optimize=True,
+    )
+    return -site.sum(axis=(0, 1, 2))
+
+
+def pcac_mass(
+    c_ap: np.ndarray,
+    c_pp: np.ndarray,
+    improved: bool = True,
+) -> np.ndarray:
+    """Effective PCAC mass per timeslice.
+
+    ``m_PCAC(t) = dt C_AP(t) / (2 C_PP(t))`` with the symmetric lattice
+    derivative (``improved=True``) or the forward one.  Returns real
+    values for the interior timeslices (length ``Lt - 2``).
+    """
+    c_ap = np.asarray(c_ap)
+    c_pp = np.asarray(c_pp)
+    if c_ap.shape != c_pp.shape:
+        raise ValueError("correlator shapes differ")
+    if improved:
+        deriv = 0.5 * (c_ap[2:] - c_ap[:-2])
+    else:
+        deriv = c_ap[2:] - c_ap[1:-1]
+    return np.real(deriv / (2.0 * c_pp[1:-1]))

@@ -1,0 +1,72 @@
+"""Communication-policy autotuning (the paper's QUDA extension).
+
+"applying the autotuner to the stencil-communication policy is very
+natural.  The end result is that we achieve not only performance
+portability across GPU generations, but ... always use the optimum
+communication strategy regardless of the machine topology and node count
+we are deployed on" — Section V.
+
+The tuner evaluates every policy available on the machine through the
+solver performance model and caches the winner per (machine, lattice,
+``Ls``, GPU count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.policies import CommPolicy, available_policies
+from repro.machines.registry import MachineSpec
+from repro.perfmodel.solver import SolverPerfModel
+
+__all__ = ["CommPolicyTuner", "CommTuneResult"]
+
+
+@dataclass(frozen=True)
+class CommTuneResult:
+    """Outcome of one communication-policy tuning."""
+
+    best: CommPolicy
+    times: dict[CommPolicy, float]
+
+    @property
+    def speedup_vs_worst(self) -> float:
+        return max(self.times.values()) / self.times[self.best]
+
+    def ranking(self) -> list[tuple[CommPolicy, float]]:
+        return sorted(self.times.items(), key=lambda kv: kv[1])
+
+
+class CommPolicyTuner:
+    """Caching tuner over the halo-exchange policy space."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, CommTuneResult] = {}
+
+    @staticmethod
+    def _key(machine: MachineSpec, dims: tuple, ls: int, n_gpus: int) -> tuple:
+        return (machine.name, tuple(dims), ls, n_gpus)
+
+    def tune(
+        self,
+        machine: MachineSpec,
+        global_dims: tuple[int, int, int, int],
+        ls: int,
+        n_gpus: int,
+    ) -> CommTuneResult:
+        """Pick the fastest policy for a deployment point (cached)."""
+        key = self._key(machine, global_dims, ls, n_gpus)
+        if key in self._cache:
+            return self._cache[key]
+        model = SolverPerfModel(machine, tuple(global_dims), ls)
+        times = {
+            policy: model.iteration_time(n_gpus, policy)
+            for policy in available_policies(machine)
+        }
+        best = min(times, key=times.get)
+        result = CommTuneResult(best=best, times=times)
+        self._cache[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._cache)

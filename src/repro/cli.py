@@ -1,0 +1,143 @@
+"""``repro-report``: print the paper's tables and headline numbers.
+
+A one-command sanity view of the reproduction: Tables I-III from the
+registries, the Fig. 3 strong-scaling anchors from the performance
+model, the scheduling claims from the simulator, and Eq. (1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lifetime import neutron_lifetime
+from repro.machines import MACHINES, PERFORMANCE_ATTRIBUTES, SOFTWARE_STACK
+from repro.perfmodel import SolverPerfModel
+from repro.jobmgr.mpijm import startup_time
+from repro.utils.tables import format_table
+from repro.version import __version__
+from repro.workflow import machine_to_machine_speedup
+
+__all__ = ["main"]
+
+
+def _table1() -> str:
+    return format_table(
+        ["Attribute", "Value"],
+        PERFORMANCE_ATTRIBUTES.items(),
+        title="Table I: performance attributes",
+    )
+
+
+def _table2() -> str:
+    headers = [
+        "Attribute", "nodes", "GPUs/node", "CPU", "GPU",
+        "FP32 TFLOPS/node", "GPU bw GB/s", "CPU-GPU bw", "Interconnect",
+        "GCC", "MPI", "CUDA",
+    ]
+    rows = [m.table_row() for m in MACHINES.values()]
+    return format_table(headers, rows, title="Table II: systems")
+
+
+def _table3() -> str:
+    return format_table(
+        ["Name", "commit", "repository", "reproduced by"],
+        [(p.name, p.commit, p.repository, p.reproduced_by) for p in SOFTWARE_STACK],
+        title="Table III: application software",
+    )
+
+
+def _headlines() -> str:
+    lines = ["Headline model numbers:"]
+    for name in ("titan", "ray", "sierra"):
+        m = MACHINES[name]
+        model = SolverPerfModel(m, (48, 48, 48, 64), 20)
+        p = model.predict(max(m.gpus_per_node, 4 * m.gpus_per_node))
+        lines.append(
+            f"  {m.name:7s} 48^3x64x20 low-node point: "
+            f"{p.bw_per_gpu_gbs:5.0f} GB/s/GPU, {p.pct_peak(m.gpu.fp32_tflops):4.1f}% of peak"
+        )
+    lines.append(
+        f"  mpi_jm startup, 4224 Sierra nodes: {startup_time(4224, 128) / 60:.1f} min"
+    )
+    for name in ("sierra", "summit"):
+        lines.append(
+            f"  {MACHINES[name].name} speedup over Titan campaign: "
+            f"{machine_to_machine_speedup(name):.1f}x"
+        )
+    tau = neutron_lifetime(1.271, 0.013)
+    lines.append(f"  Eq. (1): {tau}")
+    return "\n".join(lines)
+
+
+def _memory() -> str:
+    from repro.perfmodel import minimum_gpus, solve_footprint
+
+    rows = []
+    for label, dims, ls, gpn in (
+        ("48^3x64 Ls=20", (48, 48, 48, 64), 20, 4),
+        ("64^3x96 Ls=12", (64, 64, 64, 96), 12, 6),
+        ("96^3x144 Ls=20", (96, 96, 96, 144), 20, 6),
+    ):
+        m = minimum_gpus(dims, ls, gpus_per_node=gpn)
+        fp = solve_footprint(dims, ls, m)
+        rows.append((label, m, f"{fp.total_gib:.1f}"))
+    return format_table(
+        ["problem", "min V100 GPUs", "GiB/GPU at floor"],
+        rows,
+        title="Memory floor of the mixed-precision DWF solve (Section V)",
+    )
+
+
+def _tts() -> str:
+    from repro.perfmodel import CampaignSpec, time_to_solution
+    from repro.workflow.speedup import TITAN_CAMPAIGN_NODES
+
+    rows = []
+    for label, prec in (("1%", 0.01), ("0.2%", 0.002)):
+        spec = CampaignSpec(target_precision=prec)
+        cells = [label]
+        for name, nodes, mpi in (
+            ("titan", TITAN_CAMPAIGN_NODES, 1.0),
+            ("sierra", 3388, 0.93),
+            ("summit", 4600, 1.0),
+        ):
+            tts = time_to_solution(MACHINES[name], nodes, spec, mpi)
+            cells.append(f"{tts.wall_days:.1f}")
+        rows.append(cells)
+    return format_table(
+        ["g_A goal", "Titan days", "Sierra days", "Summit days"],
+        rows,
+        title="Time to solution (Table I category of achievement)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-report``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Print the SC18 reproduction's tables and headline numbers.",
+    )
+    parser.add_argument(
+        "--section",
+        choices=["all", "table1", "table2", "table3", "headlines", "memory", "tts"],
+        default="all",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    args = parser.parse_args(argv)
+
+    sections = {
+        "table1": _table1,
+        "table2": _table2,
+        "table3": _table3,
+        "headlines": _headlines,
+        "memory": _memory,
+        "tts": _tts,
+    }
+    chosen = sections.values() if args.section == "all" else [sections[args.section]]
+    print("\n\n".join(fn() for fn in chosen))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Communication substrate: halo exchange policies and MPI traits.
+
+Models the multi-process stencil communication options of Section V —
+CPU-staged MPI, zero-copy, GPU Direct RDMA, CUDA IPC within the node,
+fused vs fine-grained halo updates — as a cost model over the Table II
+machine parameters.  The communication-policy autotuner
+(:mod:`repro.autotune.comm`) searches exactly this space.
+"""
+
+from repro.comm.policies import (
+    CommPolicy,
+    HaloGranularity,
+    TransferPath,
+    available_policies,
+)
+from repro.comm.halo import Decomposition, best_decomposition, halo_message_bytes
+from repro.comm.model import CommCostModel
+from repro.comm.mpi import MPI_IMPLEMENTATIONS, MPIImplementation
+from repro.comm.ranksim import CommFabric, DistributedWilson
+
+__all__ = [
+    "CommFabric",
+    "DistributedWilson",
+    "CommPolicy",
+    "TransferPath",
+    "HaloGranularity",
+    "available_policies",
+    "Decomposition",
+    "best_decomposition",
+    "halo_message_bytes",
+    "CommCostModel",
+    "MPIImplementation",
+    "MPI_IMPLEMENTATIONS",
+]

@@ -1,0 +1,123 @@
+"""Per-iteration communication cost of the distributed stencil.
+
+Combines the policy characteristics, the machine's link speeds and the
+decomposition's message geometry into the time one stencil application
+spends exchanging halos.  The model distinguishes intra-node exchanges
+(CUDA IPC over NVLink, no CPU involvement — the dense-node optimization)
+from inter-node exchanges (which share the node's NIC among its GPUs and,
+without GDR, also share the CPU-GPU staging path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.halo import Decomposition, halo_message_bytes
+from repro.comm.policies import CommPolicy, TransferPath
+from repro.machines.registry import MachineSpec
+
+__all__ = ["CommCostModel"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Halo-exchange timing for one rank (= one GPU) per stencil call.
+
+    Parameters
+    ----------
+    machine:
+        Table II entry supplying link bandwidths.
+    decomp:
+        The rank grid (one rank per GPU).
+    ls:
+        Fifth-dimension extent (scales message sizes).
+    bytes_per_real:
+        Wire precision (2 = half, the production choice).
+    """
+
+    machine: MachineSpec
+    decomp: Decomposition
+    ls: int
+    bytes_per_real: float = 2.0
+
+    def _intra_node_dims(self) -> set[int]:
+        """Partitioned dims whose neighbours sit in the same node.
+
+        Ranks are laid out grid-fastest-first, so the first
+        ``gpus_per_node`` ranks of each node are contiguous in the
+        fastest partitioned direction: a partitioned direction is
+        intra-node when the product of grid extents up to and including
+        it fits inside one node.
+        """
+        g = self.machine.gpus_per_node
+        intra: set[int] = set()
+        running = 1
+        for mu in range(4):
+            if self.decomp.grid[mu] == 1:
+                continue
+            running *= self.decomp.grid[mu]
+            if running <= g:
+                intra.add(mu)
+        return intra
+
+    def _inter_bw_gbs(self, policy: CommPolicy) -> float:
+        """Effective per-GPU inter-node bandwidth for a policy."""
+        m = self.machine
+        # NIC injection bandwidth is shared by every GPU on the node.
+        nic_per_gpu = m.nic_bw_gbs / m.gpus_per_node
+        if policy.path is TransferPath.GDR:
+            return nic_per_gpu
+        # Staged paths are limited by the slower of NIC share and the
+        # CPU<->GPU link share; each extra hop costs bandwidth.
+        staging_per_gpu = m.cpu_gpu_bw_gbs / m.gpus_per_node
+        base = min(nic_per_gpu, staging_per_gpu)
+        # Calibrated to the paper's strong-scaling anchors (Figs. 3-4):
+        # CPU staging plus the missing GDR cost most of the wire rate.
+        if policy.path is TransferPath.ZERO_COPY:
+            return 0.45 * base
+        return 0.30 * base  # staged through CPU memory, two copies
+
+    def _intra_bw_gbs(self) -> float:
+        """Per-GPU intra-node bandwidth (IPC over NVLink, else PCIe)."""
+        m = self.machine
+        if m.nvlink_bw_gbs > 0:
+            return m.nvlink_bw_gbs / 2.0  # shared between neighbours
+        return m.cpu_gpu_bw_gbs / m.gpus_per_node
+
+    def exchange_time(self, policy: CommPolicy) -> float:
+        """Wall seconds of halo exchange per stencil application.
+
+        Fine-grained policies pipeline the per-dimension messages (cost
+        = max single message + serialization of the rest at bandwidth);
+        fused policies wait for everything (sum of latencies amortized,
+        one big transfer).
+        """
+        intra = self._intra_node_dims()
+        inter_bytes = 0.0
+        intra_bytes = 0.0
+        n_inter_msgs = 0
+        n_intra_msgs = 0
+        for mu in self.decomp.partitioned_dims():
+            per_face = halo_message_bytes(self.decomp, mu, self.ls, self.bytes_per_real)
+            if mu in intra:
+                intra_bytes += 2.0 * per_face
+                n_intra_msgs += 2
+            else:
+                inter_bytes += 2.0 * per_face
+                n_inter_msgs += 2
+        t = 0.0
+        if n_intra_msgs:
+            # CUDA IPC DMA copies: one launch latency, NVLink bandwidth.
+            t += 2e-6 * n_intra_msgs + intra_bytes / (self._intra_bw_gbs() * 1e9)
+        if n_inter_msgs:
+            bw = self._inter_bw_gbs(policy) * 1e9
+            t += policy.latency_s * n_inter_msgs + inter_bytes / bw
+            t += policy.cpu_overhead_s * n_inter_msgs
+        return t
+
+    def total_bytes(self) -> float:
+        """Total halo bytes per stencil application (diagnostics)."""
+        return sum(
+            2.0 * halo_message_bytes(self.decomp, mu, self.ls, self.bytes_per_real)
+            for mu in self.decomp.partitioned_dims()
+        )

@@ -1,0 +1,112 @@
+"""The halo-exchange policy space of Section V.
+
+Two orthogonal choices define a policy:
+
+* the *transfer path* for inter-node halos — stage through CPU memory
+  with GPU DMA + regular MPI, zero-copy reads/writes over PCIe, or GPU
+  Direct RDMA straight between GPU and NIC; and
+* the *granularity* — wait for all dimensions and launch one fused halo
+  kernel (fewer launches, less overlap) or per-dimension fine-grained
+  updates (more launches, better compute/comm overlap).
+
+Intra-node transfers always use CUDA IPC over NVLink where the machine
+has it (the dense-node optimization of Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.machines.registry import MachineSpec
+
+__all__ = ["TransferPath", "HaloGranularity", "CommPolicy", "available_policies"]
+
+
+class TransferPath(Enum):
+    """How inter-node halo bytes reach the NIC."""
+
+    STAGED_CPU = "staged-cpu"
+    ZERO_COPY = "zero-copy"
+    GDR = "gdr"
+
+
+class HaloGranularity(Enum):
+    """Fused single halo kernel vs per-dimension fine-grained updates."""
+
+    FUSED = "fused"
+    FINE_GRAINED = "fine-grained"
+
+
+@dataclass(frozen=True)
+class CommPolicy:
+    """One point of the communication-policy space."""
+
+    path: TransferPath
+    granularity: HaloGranularity
+
+    @property
+    def name(self) -> str:
+        return f"{self.path.value}/{self.granularity.value}"
+
+    # -- path characteristics (model constants) --------------------------
+    @property
+    def latency_s(self) -> float:
+        """Per-message software latency of the path."""
+        return {
+            TransferPath.STAGED_CPU: 12e-6,  # DMA + MPI rendezvous + sync
+            TransferPath.ZERO_COPY: 7e-6,  # no staging copy
+            TransferPath.GDR: 3e-6,  # NIC reads GPU memory directly
+        }[self.path]
+
+    @property
+    def hops(self) -> int:
+        """Extra memory copies between GPU and wire."""
+        return {
+            TransferPath.STAGED_CPU: 2,  # GPU->CPU and CPU->GPU staging
+            TransferPath.ZERO_COPY: 1,
+            TransferPath.GDR: 0,
+        }[self.path]
+
+    @property
+    def cpu_overhead_s(self) -> float:
+        """CPU time consumed per exchange (contended on dense nodes)."""
+        return {
+            TransferPath.STAGED_CPU: 8e-6,
+            TransferPath.ZERO_COPY: 4e-6,
+            TransferPath.GDR: 1e-6,
+        }[self.path]
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of the comm time hidden under interior compute.
+
+        Without GPU Direct RDMA every transfer synchronizes through the
+        CPU, so overlap is poor (the paper names this the main limit on
+        multi-node scaling); fine-grained pipelining recovers part of it.
+        """
+        return 0.55 if self.granularity is HaloGranularity.FINE_GRAINED else 0.25
+
+    @property
+    def kernel_launches(self) -> int:
+        """Halo-update kernel launches per stencil application."""
+        return 8 if self.granularity is HaloGranularity.FINE_GRAINED else 1
+
+    def requires_gdr(self) -> bool:
+        return self.path is TransferPath.GDR
+
+
+def available_policies(machine: MachineSpec) -> list[CommPolicy]:
+    """All policies runnable on a machine.
+
+    GDR policies are excluded where the system software does not support
+    GPU Direct RDMA — true of Sierra and Summit at submission time,
+    which the paper identifies as its main multi-node limitation.
+    """
+    out = []
+    for path in TransferPath:
+        if path is TransferPath.GDR and not machine.gdr_supported:
+            continue
+        for gran in HaloGranularity:
+            out.append(CommPolicy(path, gran))
+    return out

@@ -1,0 +1,128 @@
+"""Nucleon two-point contractions.
+
+The interpolating operator is the standard positive-parity nucleon
+
+``N_gamma(x) = eps_abc (u_a^T C gamma_5 d_b) u_c^gamma``
+
+whose two-point function with projector ``P = (1 + gamma_t)/2`` follows
+from Wick's theorem as two epsilon-epsilon contractions (direct and
+exchange).  Writing ``T = C gamma_5`` and ``Tbar = gamma_t T^H gamma_t``:
+
+``C(t) = sum_x eps_abc eps_a'b'c' T_ab Tbar_rs Sd^{bb'}_{br} *
+         [ Su^{aa'}_{as} tr(P Su^{cc'}) - (P Su^{ac'} ... Su^{ca'}) ]``
+
+The exact index bookkeeping lives in :func:`proton_correlator_bilinear`;
+its *bilinear* form (separate propagators for the two u-quark lines) is
+what the Feynman-Hellmann derivative needs — ``dC/dlambda`` replaces one
+quark line at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions.propagator import Propagator
+from repro.dirac import gamma as g
+
+__all__ = ["proton_correlator", "proton_correlator_bilinear", "POSITIVE_PARITY"]
+
+#: Positive-parity projector (1 + gamma_t)/2.
+POSITIVE_PARITY: np.ndarray = 0.5 * (g.IDENTITY + g.GAMMA[3])
+POSITIVE_PARITY.setflags(write=False)
+
+#: The diquark spin matrix T = C gamma_5 and its conjugate Tbar.
+_T: np.ndarray = g.CHARGE_CONJ @ g.GAMMA5
+_TBAR: np.ndarray = g.GAMMA[3] @ _T.conj().T @ g.GAMMA[3]
+
+#: Rank-3 antisymmetric epsilon tensor for the colour contractions.
+_EPS = np.zeros((3, 3, 3))
+for _i, _j, _k, _s in (
+    (0, 1, 2, 1.0),
+    (1, 2, 0, 1.0),
+    (2, 0, 1, 1.0),
+    (0, 2, 1, -1.0),
+    (2, 1, 0, -1.0),
+    (1, 0, 2, -1.0),
+):
+    _EPS[_i, _j, _k] = _s
+_EPS.setflags(write=False)
+
+
+def _timeslice_fold(arr: np.ndarray) -> np.ndarray:
+    """Sum an ``(Lx, Ly, Lz, Lt)`` site array over space, keeping time."""
+    return arr.sum(axis=(0, 1, 2))
+
+
+def proton_correlator_bilinear(
+    u1: Propagator,
+    u2: Propagator,
+    d: Propagator,
+    projector: np.ndarray | None = None,
+) -> np.ndarray:
+    """Nucleon two-point function, bilinear in the two u-quark lines.
+
+    Parameters
+    ----------
+    u1, u2:
+        Propagators for the two up-quark lines (slot ``a`` and slot ``c``
+        of the interpolator).  Pass the same object twice for the
+        physical correlator; pass a Feynman-Hellmann propagator in one
+        slot for the derivative correlator.
+    d:
+        Down-quark propagator.
+    projector:
+        Spin projector at the sink (default positive parity).
+
+    Returns
+    -------
+    Complex array of length ``Lt`` (source time rolled to 0).  For the
+    physical degenerate-mass correlator the imaginary part vanishes in
+    the ensemble average and the real part is positive at large ``t``.
+    """
+    proj = POSITIVE_PARITY if projector is None else projector
+    s1 = u1.shifted_to_origin()
+    s2 = u2.shifted_to_origin()
+    sd = d.shifted_to_origin()
+
+    # G^{bb'}_{as} = (T Sd T bar)_{as}: the diquark-dressed d propagator.
+    gtilde = np.einsum("AB,...BRbe,RS->...ASbe", _T, sd, _TBAR, optimize=True)
+
+    # Direct term:
+    #   eps_abc eps_a'b'c' Gt^{bb'}_{as} S1^{aa'}_{as} tr_s[P S2^{cc'}]
+    tr2 = np.einsum("GH,...HGcf->...cf", proj, s2, optimize=True)
+    direct = np.einsum(
+        "abc,def,...ASad,...ASbe,...cf->...",
+        _EPS,
+        _EPS,
+        s1,
+        gtilde,
+        tr2,
+        optimize=True,
+    )
+
+    # Exchange term:
+    #   eps_abc eps_a'b'c' Gt^{bb'}_{AS} S1^{ac'}_{A H} S2^{ca'}_{G S} P_{H G}
+    # (H = gamma' at the source of line 1, G = gamma at the sink of
+    # line 2, tied together by the parity projector).
+    exchange = np.einsum(
+        "abc,def,HG,...ASbe,...AHaf,...GScd->...",
+        _EPS,
+        _EPS,
+        proj,
+        gtilde,
+        s1,
+        s2,
+        optimize=True,
+    )
+
+    site_corr = direct - exchange
+    return _timeslice_fold(site_corr)
+
+
+def proton_correlator(
+    u: Propagator,
+    d: Propagator,
+    projector: np.ndarray | None = None,
+) -> np.ndarray:
+    """Physical nucleon two-point function (both u lines identical)."""
+    return proton_correlator_bilinear(u, u, d, projector=projector)

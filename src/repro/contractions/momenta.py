@@ -1,0 +1,48 @@
+"""Momentum projection of correlators.
+
+Zero-momentum projection is a plain spatial sum; finite momentum inserts
+``exp(-i p.x)`` phases with ``p = 2 pi n / L``.  The pion dispersion
+relation ``E(p)^2 = m^2 + p^2`` (up to lattice artifacts) is the
+standard validation (tested on a weak-field background).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contractions.propagator import Propagator
+from repro.lattice.geometry import Geometry
+
+__all__ = ["momentum_phase", "pion_correlator_momentum"]
+
+
+def momentum_phase(geometry: Geometry, n_momentum: tuple[int, int, int]) -> np.ndarray:
+    """Plane-wave phases ``exp(-i p . x)`` on every site (shape dims)."""
+    phase = np.zeros(geometry.dims, dtype=np.float64)
+    for axis, n in enumerate(n_momentum):
+        if n:
+            p = 2.0 * np.pi * n / geometry.dims[axis]
+            phase = phase + p * geometry.coordinate(axis)
+    return np.exp(-1j * phase)
+
+
+def pion_correlator_momentum(
+    prop: Propagator, geometry: Geometry, n_momentum: tuple[int, int, int] = (0, 0, 0)
+) -> np.ndarray:
+    """Pion two-point function projected onto spatial momentum ``p``.
+
+    ``C(p, t) = sum_x e^{-i p x} tr[S(x,t)^H S(x,t)]`` — reduces to
+    :func:`repro.contractions.mesons.pion_correlator` at ``p = 0``.
+    Returns a complex array of length ``Lt`` (real for +-p symmetric
+    ensembles; per configuration a small imaginary part survives).
+    """
+    s = prop.shifted_to_origin()
+    dens = (np.abs(s) ** 2).sum(axis=(4, 5, 6, 7))
+    phases = momentum_phase(geometry, n_momentum)
+    return (dens * phases).sum(axis=(0, 1, 2))
+
+
+def effective_energy(corr: np.ndarray) -> np.ndarray:
+    """``E_eff(t) = log |C(t) / C(t+1)|`` (length Lt-1)."""
+    corr = np.abs(np.asarray(corr))
+    return np.log(corr[:-1] / corr[1:])

@@ -1,0 +1,52 @@
+"""The paper's physics contribution: the Feynman-Hellmann method for g_A.
+
+Traditional lattice calculations of the nucleon axial coupling contract a
+sequential propagator for every source-sink separation and fight an
+exponentially decaying signal-to-noise at the large separations where
+excited-state contamination is small.  The Feynman-Hellmann propagator
+[Bouchard, Chang, Kurth, Orginos, Walker-Loud, PRD 96 (2017) 014504]
+yields the correlator derivative at *all* separations for the cost of a
+single extra solve, so the fit can use the precise small-``t`` data and
+model the excited states away — Fig. 1 of the paper.
+
+Subpackage layout:
+
+* :mod:`repro.core.feynman_hellmann` — FH propagators, correlators and
+  effective-coupling curves on real gauge configurations (exact, with a
+  finite-difference theorem check).
+* :mod:`repro.core.pipeline` — the end-to-end per-configuration
+  measurement (gauge field -> propagators -> FH -> correlators).
+* :mod:`repro.core.synthetic` — the calibrated a09m310-like ensemble
+  generator used to reproduce the statistics of Fig. 1.
+"""
+
+from repro.core.feynman_hellmann import (
+    AxialInsertion4D,
+    AxialInsertion5D,
+    PerturbedOperator,
+    SPIN_POLARIZED_PROJ,
+    compute_fh_wilson_pair,
+    compute_fh_mobius_pair,
+    fh_correlator,
+    effective_coupling,
+)
+from repro.core.pipeline import GAPipeline, ConfigMeasurement
+from repro.core.synthetic import SyntheticEnsembleSpec, SyntheticGAEnsemble
+from repro.core.error_budget import ErrorBudget, measure_error_budget
+
+__all__ = [
+    "AxialInsertion4D",
+    "AxialInsertion5D",
+    "PerturbedOperator",
+    "SPIN_POLARIZED_PROJ",
+    "compute_fh_wilson_pair",
+    "compute_fh_mobius_pair",
+    "fh_correlator",
+    "effective_coupling",
+    "GAPipeline",
+    "ConfigMeasurement",
+    "SyntheticEnsembleSpec",
+    "SyntheticGAEnsemble",
+    "ErrorBudget",
+    "measure_error_budget",
+]

@@ -1,0 +1,163 @@
+"""Red-black (even-odd) preconditioning of the Mobius operator.
+
+This is the "red-black preconditioned double-half CG" structure of
+Section IV.  Writing the 4D checkerboard decomposition
+
+``D = [[A, B_eo], [B_oe, A]]``,   ``B = H D5_plus``,   ``A = alpha + beta L``
+
+with ``H`` the (strictly parity-flipping) Wilson hopping term,
+``alpha = (4 - M5) b5 + 1`` and ``beta = (4 - M5) c5 - 1``, the Schur
+complement on the even checkerboard is
+
+``S = A - B_eo A^{-1} B_oe``.
+
+``A`` acts only in the fifth dimension and spin chirality, so its inverse
+is two dense ``Ls x Ls`` matrices (one per chirality) computed once —
+the analogue of QUDA's fused ``m5inv`` kernel.  The preconditioned system
+has roughly half the iteration count at half the size, which is where the
+paper's solver spends 97% of its runtime.
+
+Implementation note: fields remain full-lattice arrays and checkerboards
+are selected by parity masks.  This costs a redundant factor of ~2 in
+memory traffic relative to packed half-lattices but keeps every operator
+a pure function on one array layout; the performance model (not the
+Python kernels) carries the machine-efficiency story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac.mobius import MobiusOperator
+
+__all__ = ["EvenOddMobius"]
+
+
+class EvenOddMobius:
+    """Schur-complement operator for a :class:`MobiusOperator`.
+
+    Parameters
+    ----------
+    mobius:
+        The full operator to precondition.
+    """
+
+    def __init__(self, mobius: MobiusOperator):
+        self.mobius = mobius
+        geom = mobius.geometry
+        self.even = geom.parity_mask(0)
+        self.odd = geom.parity_mask(1)
+        self.alpha = (4.0 - mobius.m5) * mobius.b5 + 1.0
+        self.beta = (4.0 - mobius.m5) * mobius.c5 - 1.0
+        self._m_plus, self._m_minus = self._build_a_blocks()
+        self._minv_plus = np.linalg.inv(self._m_plus)
+        self._minv_minus = np.linalg.inv(self._m_minus)
+
+    # -- the A = alpha + beta L block ---------------------------------------
+    def _build_a_blocks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``Ls x Ls`` matrices of ``A`` per spin chirality.
+
+        For chirality ``+`` (upper spin components) ``L`` shifts ``s-1``
+        with the ``-m`` boundary wrap; for chirality ``-`` it shifts
+        ``s+1``.
+        """
+        ls, m = self.mobius.ls, self.mobius.mass
+        eye = np.eye(ls, dtype=np.complex128)
+        shift_down = np.zeros((ls, ls), dtype=np.complex128)  # psi(s-1)
+        shift_up = np.zeros((ls, ls), dtype=np.complex128)  # psi(s+1)
+        for s in range(ls):
+            shift_down[s, (s - 1) % ls] = 1.0
+            shift_up[s, (s + 1) % ls] = 1.0
+        shift_down[0, ls - 1] *= -m
+        shift_up[ls - 1, 0] *= -m
+        m_plus = self.alpha * eye + self.beta * shift_down
+        m_minus = self.alpha * eye + self.beta * shift_up
+        return m_plus, m_minus
+
+    def _apply_s_matrix(self, mat_plus: np.ndarray, mat_minus: np.ndarray, psi: np.ndarray) -> np.ndarray:
+        """Apply per-chirality ``Ls x Ls`` matrices along the 5th axis."""
+        out = np.empty_like(psi)
+        # upper two spin components: chirality +
+        out[..., :2, :] = np.tensordot(mat_plus, psi[..., :2, :], axes=(1, 0))
+        out[..., 2:, :] = np.tensordot(mat_minus, psi[..., 2:, :], axes=(1, 0))
+        return out
+
+    def a_apply(self, psi: np.ndarray) -> np.ndarray:
+        """``A psi`` (parity-diagonal block)."""
+        return self._apply_s_matrix(self._m_plus, self._m_minus, psi)
+
+    def a_inv_apply(self, psi: np.ndarray) -> np.ndarray:
+        """``A^{-1} psi`` — the fused ``m5inv`` kernel."""
+        return self._apply_s_matrix(self._minv_plus, self._minv_minus, psi)
+
+    def a_dagger_apply(self, psi: np.ndarray) -> np.ndarray:
+        return self._apply_s_matrix(
+            self._m_plus.conj().T, self._m_minus.conj().T, psi
+        )
+
+    def a_inv_dagger_apply(self, psi: np.ndarray) -> np.ndarray:
+        return self._apply_s_matrix(
+            self._minv_plus.conj().T, self._minv_minus.conj().T, psi
+        )
+
+    # -- off-diagonal blocks -----------------------------------------------------
+    def b_apply(self, psi: np.ndarray) -> np.ndarray:
+        """``B psi = H D5_plus psi`` (flips checkerboard parity)."""
+        return self.mobius.wilson.hopping(self.mobius.d5_plus(psi))
+
+    def b_dagger_apply(self, psi: np.ndarray) -> np.ndarray:
+        """``B^H psi = D5_plus^H H^H psi``."""
+        hopped = self.mobius.wilson.hopping  # H^H = gamma_5 H gamma_5; use dagger via gamma5
+        from repro.dirac import gamma as g
+
+        h_dag = g.spin_mul(g.GAMMA5, hopped(g.spin_mul(g.GAMMA5, psi)))
+        return self.mobius.d5_plus_dagger(h_dag)
+
+    # -- checkerboard restriction ---------------------------------------------------
+    def restrict(self, psi: np.ndarray, parity: int) -> np.ndarray:
+        """Zero out the opposite checkerboard (parity 0 = even)."""
+        out = psi.copy()
+        mask = self.odd if parity == 0 else self.even
+        out[:, mask] = 0.0
+        return out
+
+    # -- Schur complement --------------------------------------------------------------
+    def schur_apply(self, x_even: np.ndarray) -> np.ndarray:
+        """``S x = A x - B_eo A^{-1} B_oe x`` on the even checkerboard.
+
+        Input and output live on even sites (odd entries must be, and
+        stay, zero).
+        """
+        t = self.b_apply(x_even)  # -> odd
+        t = self.a_inv_apply(t)
+        t = self.b_apply(t)  # -> even
+        return self.restrict(self.a_apply(x_even) - t, 0)
+
+    def schur_dagger_apply(self, x_even: np.ndarray) -> np.ndarray:
+        """``S^H x = A^H x - B^H A^{-H} B^H x`` on the even checkerboard."""
+        t = self.b_dagger_apply(x_even)  # -> odd
+        t = self.a_inv_dagger_apply(t)
+        t = self.b_dagger_apply(t)  # -> even
+        return self.restrict(self.a_dagger_apply(x_even) - t, 0)
+
+    def schur_normal_apply(self, x_even: np.ndarray) -> np.ndarray:
+        """``S^H S x`` — the hermitian system handed to CG."""
+        return self.schur_dagger_apply(self.schur_apply(x_even))
+
+    # -- full-system solve plumbing -----------------------------------------------------
+    def prepare_rhs(self, b: np.ndarray) -> np.ndarray:
+        """Even-checkerboard right-hand side ``b_e - B_eo A^{-1} b_o``."""
+        b_odd = self.restrict(b, 1)
+        b_even = self.restrict(b, 0)
+        return self.restrict(b_even - self.b_apply(self.a_inv_apply(b_odd)), 0)
+
+    def reconstruct(self, x_even: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Recover the odd checkerboard: ``x_o = A^{-1} (b_o - B_oe x_e)``."""
+        b_odd = self.restrict(b, 1)
+        x_odd = self.a_inv_apply(self.restrict(b_odd - self.b_apply(x_even), 1))
+        return x_even + x_odd
+
+    # -- accounting ---------------------------------------------------------------------
+    def flops_per_normal_apply(self) -> float:
+        """Model flops per ``schur_normal_apply`` (paper convention)."""
+        return self.mobius.flops_per_normal_apply()

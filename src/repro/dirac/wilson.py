@@ -1,0 +1,101 @@
+"""The Wilson Dirac operator — the 4D kernel of the domain-wall stencil.
+
+``D psi(x) = (m + 4) psi(x)
+            - 1/2 sum_mu [ (1 - gamma_mu) U_mu(x)       psi(x + mu)
+                         + (1 + gamma_mu) U_mu(x-mu)^H  psi(x - mu) ]``
+
+with periodic spatial and antiperiodic temporal fermion boundary
+conditions (folded into the time links).  The operator is
+gamma_5-hermitian: ``D^H = gamma_5 D gamma_5`` (tested).
+
+Fields may carry arbitrary leading axes (e.g. the fifth dimension of the
+domain-wall operator); the four site axes are always the last six axes
+minus spin and colour, i.e. shape ``(..., Lx, Ly, Lz, Lt, 4, 3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac import gamma as g
+from repro.dirac.flops import wilson_dslash_flops_per_site
+from repro.lattice.gauge import GaugeField
+
+__all__ = ["WilsonOperator"]
+
+
+class WilsonOperator:
+    """Wilson Dirac operator on a fixed gauge background.
+
+    Parameters
+    ----------
+    gauge:
+        The gauge field (links are copied with fermion boundary
+        conditions applied; later mutation of ``gauge`` does not affect
+        this operator).
+    mass:
+        Bare quark mass ``m``.  The domain-wall kernel uses ``m = -M5``.
+    antiperiodic_t:
+        Apply antiperiodic temporal boundary conditions (default, the
+        physical choice for fermions at finite temporal extent).
+    """
+
+    def __init__(self, gauge: GaugeField, mass: float, antiperiodic_t: bool = True):
+        self.geometry = gauge.geometry
+        self.mass = float(mass)
+        self.u = gauge.fermion_links(antiperiodic_t=antiperiodic_t)
+        self.u_dag = np.conjugate(np.swapaxes(self.u, -1, -2))
+        # Hopping projectors 1 -+ gamma_mu.
+        self._proj_fwd = tuple(g.IDENTITY - g.GAMMA[mu] for mu in range(4))
+        self._proj_bwd = tuple(g.IDENTITY + g.GAMMA[mu] for mu in range(4))
+
+    # -- shape handling ------------------------------------------------------
+    def _flatten(self, psi: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        dims = self.geometry.dims
+        expected_tail = dims + (4, 3)
+        if psi.shape[-6:] != expected_tail:
+            raise ValueError(
+                f"field tail shape {psi.shape[-6:]} != lattice {expected_tail}"
+            )
+        lead = psi.shape[:-6]
+        return psi.reshape((-1,) + expected_tail), lead
+
+    @staticmethod
+    def _color_mul(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
+        """``(U psi)(x)`` with ``u`` of shape dims+(3,3), psi (n, dims, 4, 3)."""
+        return np.einsum("xyztab,nxyztsb->nxyztsa", u, psi, optimize=True)
+
+    # -- the stencil -----------------------------------------------------------
+    def hopping(self, psi: np.ndarray) -> np.ndarray:
+        """The pure hopping term ``H psi`` (no mass/diagonal piece).
+
+        ``H`` strictly couples opposite checkerboard parities — the
+        property exploited by the red-black preconditioning.
+        """
+        phi, lead = self._flatten(psi)
+        out = np.zeros_like(phi)
+        for mu in range(4):
+            axis = 1 + mu  # site axes start after the flattened lead axis
+            fwd = np.roll(phi, -1, axis=axis)  # psi(x + mu)
+            out -= 0.5 * g.spin_mul(self._proj_fwd[mu], self._color_mul(self.u[mu], fwd))
+            back = np.roll(self._color_mul(self.u_dag[mu], phi), +1, axis=axis)
+            out -= 0.5 * g.spin_mul(self._proj_bwd[mu], back)
+        return out.reshape(psi.shape)
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """``D psi``."""
+        return (self.mass + 4.0) * psi + self.hopping(psi)
+
+    def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
+        """``D^H psi`` via gamma_5-hermiticity."""
+        return g.spin_mul(g.GAMMA5, self.apply(g.spin_mul(g.GAMMA5, psi)))
+
+    def apply_normal(self, psi: np.ndarray) -> np.ndarray:
+        """``D^H D psi`` — the hermitian positive operator CG inverts."""
+        return self.apply_dagger(self.apply(psi))
+
+    # -- accounting --------------------------------------------------------------
+    def flops_per_apply(self, psi_shape: tuple[int, ...]) -> float:
+        """Model flops for one ``apply`` on a field of the given shape."""
+        lead = int(np.prod(psi_shape[:-6], dtype=np.int64)) if len(psi_shape) > 6 else 1
+        return float(lead * self.geometry.volume * wilson_dslash_flops_per_site())

@@ -1,0 +1,13 @@
+"""Dynamical-fermion HMC: the generator of the paper's ensembles.
+
+The quenched updaters in :mod:`repro.lattice` sample the gauge action
+alone; real ensembles (the a09m310 HISQ lattices the paper measures on)
+include the fermion determinant through pseudofermions.  This package
+implements two-flavor Wilson HMC — ``det(D^H D)`` via a Gaussian
+pseudofermion field and a CG solve inside the molecular-dynamics force —
+with the force verified against finite differences of the action.
+"""
+
+from repro.hmc.two_flavor import TwoFlavorWilsonHMC, DynamicalTrajectory
+
+__all__ = ["TwoFlavorWilsonHMC", "DynamicalTrajectory"]

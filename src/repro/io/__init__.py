@@ -1,0 +1,13 @@
+"""Field I/O: a container format and the parallel-I/O timing model.
+
+The paper writes gauge configurations, propagators and results with
+parallel HDF5 [Kurth et al., PoS LATTICE2014 045], and budgets I/O at
+0.5% of application time.  :class:`FieldFile` provides a self-describing
+binary container for the NumPy fields, and :class:`ParallelIOModel`
+reproduces the timing claim for the paper's file sizes.
+"""
+
+from repro.io.container import FieldFile
+from repro.io.hdf5sim import ParallelIOModel, propagator_bytes, gauge_bytes
+
+__all__ = ["FieldFile", "ParallelIOModel", "propagator_bytes", "gauge_bytes"]

@@ -1,0 +1,81 @@
+"""Parallel-I/O timing model (the HDF5 layer of the workflow).
+
+Validates the paper's budget claim that reading configurations and
+writing ~10,000 propagators costs about 0.5% of application time, given
+the CORAL parallel file systems' aggregate bandwidth and per-file
+metadata overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParallelIOModel", "propagator_bytes", "gauge_bytes"]
+
+
+def gauge_bytes(dims: tuple[int, int, int, int]) -> float:
+    """Bytes of one double-precision gauge configuration."""
+    lx, ly, lz, lt = dims
+    return lx * ly * lz * lt * 4 * 9 * 16.0
+
+
+def propagator_bytes(dims: tuple[int, int, int, int], precision_bytes: int = 8) -> float:
+    """Bytes of one 4D propagator (12 x 12 complex per site)."""
+    lx, ly, lz, lt = dims
+    return lx * ly * lz * lt * 144 * 2 * float(precision_bytes)
+
+
+@dataclass(frozen=True)
+class ParallelIOModel:
+    """Striped parallel file system, GPFS/Lustre style.
+
+    Parameters
+    ----------
+    aggregate_bw_gbs:
+        File-system bandwidth a single job can sustain (CORAL burst
+        aggregate is ~TB/s; one job sees a slice of it).
+    metadata_overhead_s:
+        Per-file open/close/metadata cost.
+    per_node_bw_gbs:
+        Injection limit per compute node.
+    """
+
+    aggregate_bw_gbs: float = 120.0
+    metadata_overhead_s: float = 0.4
+    per_node_bw_gbs: float = 2.0
+
+    def write_time(self, nbytes: float, n_nodes: int = 4) -> float:
+        """Seconds to collectively write one file from ``n_nodes``."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        bw = min(self.aggregate_bw_gbs, self.per_node_bw_gbs * n_nodes) * 1e9
+        return self.metadata_overhead_s + nbytes / bw
+
+    def read_time(self, nbytes: float, n_nodes: int = 4) -> float:
+        """Reads model the same as writes (collective, striped)."""
+        return self.write_time(nbytes, n_nodes)
+
+    def campaign_io_fraction(
+        self,
+        dims: tuple[int, int, int, int],
+        n_propagators: int,
+        solve_seconds_per_propagator: float,
+        n_nodes_per_job: int = 4,
+        reads_per_propagator: float = 1.0,
+    ) -> float:
+        """I/O time as a fraction of total application time (Fig. 2).
+
+        Each propagator is written once after its solve and read
+        ``reads_per_propagator`` times by contractions; one gauge
+        configuration is read per ~10 propagators.
+        """
+        if n_propagators < 1:
+            raise ValueError("need at least one propagator")
+        prop_io = self.write_time(propagator_bytes(dims), n_nodes_per_job)
+        prop_io += reads_per_propagator * self.read_time(
+            propagator_bytes(dims), n_nodes_per_job
+        )
+        cfg_io = self.read_time(gauge_bytes(dims), n_nodes_per_job) / 10.0
+        io_total = n_propagators * (prop_io + cfg_io)
+        compute_total = n_propagators * solve_seconds_per_propagator
+        return io_total / (io_total + compute_total)

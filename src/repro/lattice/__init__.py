@@ -1,0 +1,62 @@
+"""Lattice substrate: geometry, SU(3) group algebra, gauge fields, updates.
+
+This is the "femtoscale universe" of the paper title: a periodic 4D
+space-time grid carrying SU(3) gauge links.  The paper runs on lattices up
+to 96^3 x 144; this NumPy implementation targets the small volumes
+(4^3 x 8 .. 8^3 x 16) where the full physics pipeline is exact and fast,
+while :mod:`repro.perfmodel` extrapolates the computational cost to the
+paper's volumes.
+"""
+
+from repro.lattice.geometry import Geometry
+from repro.lattice.su3 import (
+    NC,
+    dagger,
+    identity_links,
+    project_su3,
+    project_traceless_antihermitian,
+    random_algebra,
+    random_su3,
+    su3_expm,
+    unitarity_violation,
+)
+from repro.lattice.gauge import GaugeField
+from repro.lattice.heatbath import HeatbathUpdater
+from repro.lattice.hmc import PureGaugeHMC, HMCResult
+from repro.lattice.gaugefix import GaugeFixer, GaugeFixResult
+from repro.lattice.linksmear import StoutSmearing
+from repro.lattice.flow import WilsonFlow, FlowPoint
+from repro.lattice.wilsonloops import creutz_ratio, static_potential, wilson_loop
+from repro.lattice.topology import (
+    clover_field_strength,
+    energy_density_clover,
+    topological_charge,
+)
+
+__all__ = [
+    "Geometry",
+    "GaugeField",
+    "HeatbathUpdater",
+    "PureGaugeHMC",
+    "HMCResult",
+    "GaugeFixer",
+    "GaugeFixResult",
+    "StoutSmearing",
+    "WilsonFlow",
+    "FlowPoint",
+    "wilson_loop",
+    "creutz_ratio",
+    "static_potential",
+    "clover_field_strength",
+    "energy_density_clover",
+    "topological_charge",
+    "NC",
+    "dagger",
+    "identity_links",
+    "project_su3",
+    "project_traceless_antihermitian",
+    "random_algebra",
+    "random_su3",
+    "su3_expm",
+    "unitarity_violation",
+]

@@ -1,0 +1,119 @@
+"""The Wilson (gradient) flow.
+
+The flow evolves the gauge field toward the classical action minimum,
+
+``dV_t/dt = -g0^2 [dS_W(V_t)] V_t``,
+
+smoothing it at the length scale ``sqrt(8t)``.  The CalLat program uses
+gradient-flowed ensembles for the paper's calculation, and the flow also
+sets the lattice scale through ``t0`` defined by ``t^2 <E>(t0) = 0.3``.
+Integrated with the Luscher third-order Runge-Kutta scheme; the action
+decreases monotonically along the flow (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.gauge import GaugeField
+from repro.lattice.su3 import NC, dagger, project_traceless_antihermitian, su3_expm
+
+__all__ = ["WilsonFlow", "FlowPoint"]
+
+
+@dataclass(frozen=True)
+class FlowPoint:
+    """One observable sample along the flow."""
+
+    t: float
+    plaquette: float
+    energy: float  # <E> = 6 (1 - plaquette) per site (clover-free def.)
+    t2e: float
+
+
+def _force(gauge: GaugeField) -> np.ndarray:
+    """Flow generator ``Z = -dS_W``: minus the traceless antihermitian
+    part of ``U staple`` — the direction that increases the plaquette
+    (same sign convention as the HMC gauge force)."""
+    z = np.empty_like(gauge.u)
+    for mu in range(4):
+        omega = gauge.u[mu] @ gauge.staple(mu)
+        z[mu] = -project_traceless_antihermitian(omega)
+    return z
+
+
+@dataclass
+class WilsonFlow:
+    """Luscher RK3 integrator for the Wilson flow.
+
+    Parameters
+    ----------
+    step:
+        Integration step ``epsilon`` (0.01-0.05 is safe).
+    """
+
+    step: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+
+    @staticmethod
+    def energy(gauge: GaugeField) -> float:
+        """Action density ``<E>`` from the plaquette."""
+        return 6.0 * (1.0 - gauge.plaquette())
+
+    def _rk3_step(self, gauge: GaugeField) -> GaugeField:
+        """One Luscher RK3 step (2011.11779 conventions, W0->W1->W2)."""
+        eps = self.step
+        w0 = gauge
+        z0 = _force(w0)
+        w1 = GaugeField(w0.geometry, su3_expm(0.25 * eps * z0) @ w0.u)
+        z1 = _force(w1)
+        w2 = GaugeField(
+            w1.geometry,
+            su3_expm(eps * (8.0 / 9.0 * z1 - 17.0 / 36.0 * z0)) @ w1.u,
+        )
+        z2 = _force(w2)
+        w3 = GaugeField(
+            w2.geometry,
+            su3_expm(eps * (0.75 * z2 - 8.0 / 9.0 * z1 + 17.0 / 36.0 * z0)) @ w2.u,
+        )
+        return w3
+
+    def flow(self, gauge: GaugeField, t_max: float) -> list[FlowPoint]:
+        """Flow to ``t_max``, recording observables each step.
+
+        The input field is not modified; the trajectory is returned.
+        """
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        out: list[FlowPoint] = []
+        field = gauge.copy()
+        t = 0.0
+        e = self.energy(field)
+        out.append(FlowPoint(t, field.plaquette(), e, t * t * e))
+        n = int(round(t_max / self.step))
+        for _ in range(n):
+            field = self._rk3_step(field)
+            field.reunitarize()
+            t += self.step
+            e = self.energy(field)
+            out.append(FlowPoint(t, field.plaquette(), e, t * t * e))
+        return out
+
+    def t0(self, gauge: GaugeField, t_max: float = 4.0, target: float = 0.3) -> float:
+        """The scale-setting flow time: ``t^2 <E>(t0) = target``.
+
+        Returns ``nan`` when the target is not crossed before ``t_max``
+        (small lattices at weak coupling may flow too smooth too fast).
+        """
+        traj = self.flow(gauge, t_max)
+        for a, b in zip(traj, traj[1:]):
+            if a.t2e < target <= b.t2e:
+                # linear interpolation in t
+                frac = (target - a.t2e) / (b.t2e - a.t2e)
+                return a.t + frac * (b.t - a.t)
+        return float("nan")

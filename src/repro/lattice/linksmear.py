@@ -1,0 +1,63 @@
+"""Stout link smearing (Morningstar-Peardon).
+
+The production ensembles behind the paper's calculation use smeared
+gauge links in the fermion action (the MDWF-on-gradient-flowed-HISQ
+action); stout smearing is the standard differentiable link smearing:
+
+``U_mu -> exp( -rho * TA[ U_mu staple_mu ] ) U_mu``
+
+with ``TA`` the traceless antihermitian projection (the sign follows the
+gauge-force convention of :mod:`repro.lattice.hmc`: the exponent points
+*down* the Wilson-action gradient).  Smearing smooths
+ultraviolet fluctuations: the plaquette increases monotonically toward 1
+and the Dirac operator becomes better conditioned (both tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.gauge import GaugeField
+from repro.lattice.su3 import dagger, project_traceless_antihermitian, su3_expm
+
+__all__ = ["StoutSmearing"]
+
+
+@dataclass(frozen=True)
+class StoutSmearing:
+    """Stout smearing operator.
+
+    Parameters
+    ----------
+    rho:
+        Smearing weight per step (isotropic; typical 0.1).
+    n_steps:
+        Number of smearing iterations.
+    """
+
+    rho: float = 0.1
+    n_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ValueError(f"rho must be positive, got {self.rho}")
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+
+    def step(self, gauge: GaugeField) -> GaugeField:
+        """One stout step; returns a new field."""
+        new_u = np.empty_like(gauge.u)
+        for mu in range(4):
+            omega = gauge.u[mu] @ gauge.staple(mu)
+            q = -project_traceless_antihermitian(self.rho * omega)
+            new_u[mu] = su3_expm(q) @ gauge.u[mu]
+        return GaugeField(gauge.geometry, new_u)
+
+    def apply(self, gauge: GaugeField) -> GaugeField:
+        """``n_steps`` of smearing; the input field is not modified."""
+        out = gauge
+        for _ in range(self.n_steps):
+            out = self.step(out)
+        return out

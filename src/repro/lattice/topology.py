@@ -1,0 +1,94 @@
+"""Clover field strength and topological charge.
+
+``F_munu`` from the four-plaquette clover average and the field-theoretic
+topological charge
+
+``Q = 1/(32 pi^2) sum_x eps_{munurhosigma} tr[ F_munu F_rhosigma ]``.
+
+On smooth (flowed) configurations ``Q`` approaches integers; on this
+package's small rough lattices it is mainly a substrate correctness
+observable: exactly gauge invariant, zero on the free field, and odd
+under orientation reversal (all tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.gauge import GaugeField
+from repro.lattice.su3 import dagger
+
+__all__ = ["clover_field_strength", "topological_charge", "energy_density_clover"]
+
+
+def _clover_leaf(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Sum of the four plaquette leaves in the mu-nu plane at each site."""
+    geom = gauge.geometry
+    u_mu, u_nu = gauge.u[mu], gauge.u[nu]
+    u_mu_nu = geom.shift(u_mu, nu, +1)  # U_mu(x+nu)
+    u_nu_mu = geom.shift(u_nu, mu, +1)  # U_nu(x+mu)
+
+    # Leaf 1: x -> +mu -> +nu -> -mu -> -nu
+    l1 = u_mu @ u_nu_mu @ dagger(u_mu_nu) @ dagger(u_nu)
+    # Leaf 2: x -> +nu -> -mu -> -nu -> +mu
+    u_mu_b = geom.shift(u_mu, mu, -1)  # U_mu(x-mu)
+    u_nu_bmu = geom.shift(u_nu, mu, -1)  # U_nu(x-mu)
+    u_mu_b_nu = geom.shift(u_mu_b, nu, +1)  # U_mu(x-mu+nu)
+    l2 = u_nu @ dagger(u_mu_b_nu) @ dagger(u_nu_bmu) @ u_mu_b
+    # Leaf 3: x -> -mu -> -nu -> +mu -> +nu
+    u_nu_b = geom.shift(u_nu, nu, -1)  # U_nu(x-nu)
+    u_nu_bmu_b = geom.shift(u_nu_bmu, nu, -1)  # U_nu(x-mu-nu)
+    u_mu_b_bnu = geom.shift(u_mu_b, nu, -1)  # U_mu(x-mu-nu)
+    l3 = dagger(u_mu_b) @ dagger(u_nu_bmu_b) @ u_mu_b_bnu @ u_nu_b
+    # Leaf 4: x -> -nu -> +mu -> +nu -> -mu
+    u_mu_bnu = geom.shift(u_mu, nu, -1)  # U_mu(x-nu)
+    u_nu_mu_bnu = geom.shift(u_nu_mu, nu, -1)  # U_nu(x+mu-nu)
+    l4 = dagger(u_nu_b) @ u_mu_bnu @ u_nu_mu_bnu @ dagger(u_mu)
+    return l1 + l2 + l3 + l4
+
+
+def clover_field_strength(gauge: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Antihermitian traceless ``F_munu`` at every site (clover definition).
+
+    ``F = (C - C^H) / 8`` with ``C`` the four-leaf sum; antisymmetric in
+    ``(mu, nu)``.
+    """
+    if mu == nu:
+        raise ValueError("field strength needs two distinct directions")
+    c = _clover_leaf(gauge, mu, nu)
+    f = (c - dagger(c)) / 8.0
+    tr = np.trace(f, axis1=-2, axis2=-1)[..., None, None] / 3.0
+    return f - tr * np.eye(3)
+
+
+def topological_charge(gauge: GaugeField) -> float:
+    """Field-theoretic ``Q`` from the clover ``F``.
+
+    Uses ``eps_{0123} = +1`` and the three independent dual pairs:
+    ``Q = 1/(32 pi^2) * 8 * sum_x tr[F01 F23 - F02 F13 + F03 F12]``
+    (the 8 counts the epsilon permutations of each pair).
+    """
+    pairs = [((0, 1), (2, 3), +1.0), ((0, 2), (1, 3), -1.0), ((0, 3), (1, 2), +1.0)]
+    total = 0.0
+    for (m1, n1), (m2, n2), sign in pairs:
+        f1 = clover_field_strength(gauge, m1, n1)
+        f2 = clover_field_strength(gauge, m2, n2)
+        total += sign * float(
+            np.einsum("xyztab,xyztba->", f1, f2, optimize=True).real
+        )
+    return 8.0 * total / (32.0 * np.pi**2)
+
+
+def energy_density_clover(gauge: GaugeField) -> float:
+    """``<E> = -1/(2V) sum_x sum_{mu<nu} tr[F_munu F_munu]`` (positive).
+
+    The clover counterpart of the plaquette energy used along the Wilson
+    flow; agrees with it on smooth fields.
+    """
+    geom = gauge.geometry
+    total = 0.0
+    for mu in range(4):
+        for nu in range(mu + 1, 4):
+            f = clover_field_strength(gauge, mu, nu)
+            total += float(np.einsum("xyztab,xyztba->", f, f, optimize=True).real)
+    return -total / geom.volume

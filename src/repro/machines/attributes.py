@@ -1,0 +1,15 @@
+"""The paper's Table I: performance attributes of the measurement."""
+
+from __future__ import annotations
+
+__all__ = ["PERFORMANCE_ATTRIBUTES"]
+
+#: Attribute -> value, exactly as reported in Table I.
+PERFORMANCE_ATTRIBUTES: dict[str, str] = {
+    "Category of achievement": "time to solution",
+    "method": "explicit",
+    "reporting": "whole application including I/O",
+    "precision": "mixed-precision",
+    "system scale": "full-scale system",
+    "measurement method": "FLOP count",
+}

@@ -1,0 +1,195 @@
+"""The systems of Table II, as data.
+
+Bandwidth conventions: all bandwidths are GB/s.  The per-GPU STREAM-like
+memory bandwidth is the node figure divided by the GPU count; the
+*effective* solver bandwidth additionally carries the per-architecture
+cache-amplification factor calibrated in Section VII (Titan 139, Ray 516,
+Sierra 975 GB/s at peak efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GPUSpec",
+    "MachineSpec",
+    "MACHINES",
+    "get_machine",
+    "GPU_K20X",
+    "GPU_P100",
+    "GPU_V100",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU generation.
+
+    ``cache_factor`` multiplies the STREAM bandwidth to give the
+    effective bandwidth sustained by the dslash stencil; it is calibrated
+    so the model reproduces the paper's measured per-GPU bandwidths
+    (Section VII attributes the growth across generations to the larger
+    L1/L2 per thread).
+    """
+
+    name: str
+    architecture: str  # kepler / pascal / volta
+    fp32_tflops: float  # peak single-precision per GPU
+    mem_bw_gbs: float  # STREAM-like memory bandwidth per GPU
+    cache_factor: float
+    #: kernel launch overhead (seconds); higher on older CUDA stacks
+    launch_overhead_s: float = 5e-6
+
+    @property
+    def effective_bw_gbs(self) -> float:
+        """Cache-amplified bandwidth the stencil actually sustains."""
+        return self.mem_bw_gbs * self.cache_factor
+
+
+GPU_K20X = GPUSpec("K20X", "kepler", fp32_tflops=4.0, mem_bw_gbs=250.0, cache_factor=0.570, launch_overhead_s=8e-6)
+GPU_P100 = GPUSpec("P100", "pascal", fp32_tflops=11.0, mem_bw_gbs=720.0, cache_factor=0.740)
+GPU_V100 = GPUSpec("V100", "volta", fp32_tflops=15.0, mem_bw_gbs=900.0, cache_factor=1.160)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One system row of Table II.
+
+    Attributes beyond the table:
+
+    * ``nic_bw_gbs`` — injection bandwidth per node (dual-rail EDR =
+      2 x 12.5 GB/s on the CORAL systems, ~8 GB/s Gemini on Titan).
+    * ``nvlink_bw_gbs`` — GPU-GPU intra-node bandwidth (0 when links
+      route through PCIe only, as on Titan).
+    * ``gdr_supported`` — GPU Direct RDMA between GPU and NIC; *disabled
+      on Sierra and Summit at submission time* (Section V), which is why
+      the paper's multi-node scaling is staged through the CPU.
+    * ``cpu_slots_per_node`` — schedulable CPU task slots for the
+      ``mpi_jm`` CPU/GPU co-scheduling.
+    """
+
+    name: str
+    nodes: int
+    gpus_per_node: int
+    cpu: str
+    gpu: GPUSpec
+    cpu_gpu_bw_gbs: float  # per node, CPU <-> GPU aggregate
+    interconnect: str
+    nic_bw_gbs: float
+    nvlink_bw_gbs: float
+    gdr_supported: bool
+    cpu_slots_per_node: int
+    gcc: str
+    mpi: str
+    cuda: str
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def fp32_tflops_per_node(self) -> float:
+        return self.gpu.fp32_tflops * self.gpus_per_node
+
+    @property
+    def gpu_bw_per_node_gbs(self) -> float:
+        return self.gpu.mem_bw_gbs * self.gpus_per_node
+
+    @property
+    def total_gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def peak_fp32_pflops(self) -> float:
+        return self.fp32_tflops_per_node * self.nodes / 1000.0
+
+    def table_row(self) -> tuple:
+        """Row in the layout of the paper's Table II."""
+        return (
+            self.name,
+            self.nodes,
+            self.gpus_per_node,
+            self.cpu,
+            self.gpu.name,
+            f"{self.fp32_tflops_per_node:.0f}",
+            f"{self.gpu_bw_per_node_gbs:.0f}",
+            f"{self.cpu_gpu_bw_gbs:.0f}",
+            self.interconnect,
+            self.gcc,
+            self.mpi,
+            self.cuda,
+        )
+
+
+MACHINES: dict[str, MachineSpec] = {
+    "titan": MachineSpec(
+        name="Titan",
+        nodes=18_688,
+        gpus_per_node=1,
+        cpu="AMD Opteron",
+        gpu=GPU_K20X,
+        cpu_gpu_bw_gbs=6.0,
+        interconnect="Cray Gemini",
+        nic_bw_gbs=8.0,
+        nvlink_bw_gbs=0.0,
+        gdr_supported=False,
+        cpu_slots_per_node=16,
+        gcc="4.9.3",
+        mpi="Cray MPICH 7.6.3",
+        cuda="7.5.18",
+    ),
+    "ray": MachineSpec(
+        name="Ray",
+        nodes=54,
+        gpus_per_node=4,
+        cpu="IBM POWER8",
+        gpu=GPU_P100,
+        cpu_gpu_bw_gbs=20.0,
+        interconnect="Mellanox IB 2xEDR",
+        nic_bw_gbs=25.0,
+        nvlink_bw_gbs=80.0,
+        gdr_supported=False,
+        cpu_slots_per_node=20,
+        gcc="4.9.3",
+        mpi="Spectrum 2017.04.03",
+        cuda="9.0.176",
+    ),
+    "sierra": MachineSpec(
+        name="Sierra",
+        nodes=4200,
+        gpus_per_node=4,
+        cpu="IBM POWER9",
+        gpu=GPU_V100,
+        cpu_gpu_bw_gbs=75.0,
+        interconnect="Mellanox IB 2xEDR",
+        nic_bw_gbs=25.0,
+        nvlink_bw_gbs=150.0,
+        gdr_supported=False,  # not at submission time (Section V)
+        cpu_slots_per_node=40,
+        gcc="4.9.3",
+        mpi="MVAPICH2 2.3",
+        cuda="9.2.148",
+    ),
+    "summit": MachineSpec(
+        name="Summit",
+        nodes=4600,
+        gpus_per_node=6,
+        cpu="IBM POWER9",
+        gpu=GPU_V100,
+        cpu_gpu_bw_gbs=50.0,
+        interconnect="Mellanox IB 2xEDR",
+        nic_bw_gbs=25.0,
+        nvlink_bw_gbs=100.0,
+        gdr_supported=False,  # not at submission time (Section V)
+        cpu_slots_per_node=42,
+        gcc="4.8.5",
+        mpi="Spectrum 2018.01.10",
+        cuda="9.1.85",
+    ),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise KeyError(f"unknown machine {name!r}; have {sorted(MACHINES)}")
+    return MACHINES[key]

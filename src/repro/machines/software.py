@@ -1,0 +1,49 @@
+"""The paper's Table III: application software stack.
+
+Recorded as metadata for provenance; this reproduction replaces each
+package with a Python subsystem (see DESIGN.md for the mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SoftwarePackage", "SOFTWARE_STACK"]
+
+
+@dataclass(frozen=True)
+class SoftwarePackage:
+    """One row of Table III, plus the subsystem that stands in for it here."""
+
+    name: str
+    commit: str
+    repository: str
+    reproduced_by: str
+
+
+SOFTWARE_STACK: tuple[SoftwarePackage, ...] = (
+    SoftwarePackage(
+        "Lalibe", "N/A", "https://github.com/callat-qcd/lalibe",
+        "repro.core (Feynman-Hellmann measurement code)",
+    ),
+    SoftwarePackage(
+        "Chroma", "72a47bd", "https://github.com/JeffersonLab/chroma",
+        "repro.contractions + repro.workflow (application layer)",
+    ),
+    SoftwarePackage(
+        "QUDA", "6d7f74b", "https://github.com/lattice/quda",
+        "repro.dirac + repro.solvers + repro.autotune (GPU solver library)",
+    ),
+    SoftwarePackage(
+        "QDP++", "5b711236", "https://github.com/azrael417/qdpxx",
+        "repro.lattice (data-parallel field layer)",
+    ),
+    SoftwarePackage(
+        "QMP", "d29f3f8", "https://github.com/callat-qcd/qmp",
+        "repro.comm (message-passing layer)",
+    ),
+    SoftwarePackage(
+        "mpi_jm", "a4722f5", "https://github.com/kenmcelvain/mpi_jm",
+        "repro.jobmgr.mpijm (job manager)",
+    ),
+)

@@ -1,0 +1,113 @@
+"""Fat-tree network topology of the CORAL systems.
+
+Sierra and Summit use two-to-three-level Mellanox EDR fat trees: nodes
+hang off leaf (top-of-rack) switches, leaves off director/spine
+switches.  Two consequences the paper engineers around are modelled
+here:
+
+* **locality** — traffic between nodes under one leaf takes 2 hops;
+  crossing the spine takes 4+, which is why ``mpi_jm`` blocks choose
+  "member nodes ... close together for high performance communications";
+* **oversubscription** — the up-links of a leaf are shared, so a job
+  scattered across many leaves contends for spine bandwidth (METAQ's
+  fragmentation cost, quantified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FatTree", "TOPOLOGIES"]
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """A two-level fat tree.
+
+    Parameters
+    ----------
+    nodes_per_leaf:
+        Nodes under one leaf switch (18 on the CORAL EDR trees).
+    oversubscription:
+        Ratio of downlinks to uplinks per leaf (1.0 = full bisection;
+        CORAL trees are tapered ~2:1).
+    """
+
+    name: str
+    nodes_per_leaf: int = 18
+    oversubscription: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_leaf < 1:
+            raise ValueError("need at least one node per leaf")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription is >= 1 by definition")
+
+    # -- structure ----------------------------------------------------------
+    def leaf_of(self, node: int) -> int:
+        if node < 0:
+            raise ValueError("node ids are non-negative")
+        return node // self.nodes_per_leaf
+
+    def hops(self, a: int, b: int) -> int:
+        """Switch hops between two nodes (0 = same node)."""
+        if a == b:
+            return 0
+        return 2 if self.leaf_of(a) == self.leaf_of(b) else 4
+
+    # -- job-level metrics ------------------------------------------------------
+    def leaves_spanned(self, nodes: list[int]) -> int:
+        return len({self.leaf_of(n) for n in nodes})
+
+    def mean_hops(self, nodes: list[int]) -> float:
+        """Average pairwise hop count of a placement (its locality)."""
+        if len(nodes) < 2:
+            return 0.0
+        total = 0
+        count = 0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                total += self.hops(a, b)
+                count += 1
+        return total / count
+
+    def bandwidth_factor(self, nodes: list[int]) -> float:
+        """Effective inter-node bandwidth multiplier for a placement.
+
+        Intra-leaf traffic runs at full rate; the spine fraction is
+        divided by the taper.  A compact block scores 1.0; a job
+        scattered one-node-per-leaf scores ``1/oversubscription``.
+        """
+        if len(nodes) < 2:
+            return 1.0
+        same = 0
+        cross = 0
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if self.leaf_of(a) == self.leaf_of(b):
+                    same += 1
+                else:
+                    cross += 1
+        total = same + cross
+        return (same + cross / self.oversubscription) / total
+
+    def placement_penalty(self, nodes: list[int], sensitivity: float = 1.0) -> float:
+        """Slowdown factor >= 1 for a communication-bound job.
+
+        ``sensitivity`` scales how much of the job's time is exposed
+        inter-node bandwidth (1 = fully bandwidth-bound).
+        """
+        bw = self.bandwidth_factor(nodes)
+        return 1.0 + sensitivity * (1.0 / bw - 1.0)
+
+
+#: Per-machine trees (Titan's Gemini torus is approximated by a flat
+#: "leaf" of 1: every pair of nodes pays the network).
+TOPOLOGIES: dict[str, FatTree] = {
+    "titan": FatTree("titan", nodes_per_leaf=1, oversubscription=1.3),
+    "ray": FatTree("ray", nodes_per_leaf=18, oversubscription=1.0),
+    "sierra": FatTree("sierra", nodes_per_leaf=18, oversubscription=2.0),
+    "summit": FatTree("summit", nodes_per_leaf=18, oversubscription=2.0),
+}

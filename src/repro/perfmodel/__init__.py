@@ -1,0 +1,42 @@
+"""Performance model of the mixed-precision DWF solver on GPU machines.
+
+The solver is bandwidth-bound (arithmetic intensity 1.8-1.9 in half
+precision, Section VI), so performance is modelled as a roofline over the
+cache-amplified memory bandwidth, plus the halo-exchange cost from
+:mod:`repro.comm`, kernel-launch overheads and the CG reduction term.
+Percent-of-peak follows the paper's convention: raw solver flops scaled
+by 1.675 (non-FMA issue + double-precision reductions) against the
+single-precision peak.
+"""
+
+from repro.perfmodel.gpu import GPUKernelModel, LaunchParams
+from repro.perfmodel.dslash import DslashCost, dslash_cost
+from repro.perfmodel.solver import SolverPerfModel, SolverPerfPoint
+from repro.perfmodel.scaling import strong_scaling, solver_performance
+from repro.perfmodel.memory import SolveFootprint, minimum_gpus, solve_footprint
+from repro.perfmodel.tts import CampaignSpec, TimeToSolution, time_to_solution
+
+__all__ = [
+    "GPUKernelModel",
+    "LaunchParams",
+    "DslashCost",
+    "dslash_cost",
+    "SolverPerfModel",
+    "SolverPerfPoint",
+    "strong_scaling",
+    "solver_performance",
+    "SolveFootprint",
+    "solve_footprint",
+    "minimum_gpus",
+    "CampaignSpec",
+    "TimeToSolution",
+    "time_to_solution",
+]
+
+#: Paper Section VI: scaling applied to raw solver flops when quoting
+#: percent of single-precision peak (non-FMA instructions and
+#: double-precision reductions).
+PEAK_ACCOUNTING_FACTOR = 1.675
+
+#: Arithmetic intensity of the half-precision CG (flop per byte).
+CG_ARITHMETIC_INTENSITY = 1.9

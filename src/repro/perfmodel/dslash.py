@@ -1,0 +1,76 @@
+"""Work and traffic of one CG iteration of the red-black Mobius solver.
+
+One iteration applies the Schur normal operator (four 4D dslash sweeps
+over half-checkerboards plus the fifth-dimension kernels — the paper's
+10,000-12,000 flop per 5D site) and the BLAS-1 tail (50-100 flop/site).
+Bytes follow from the half-precision arithmetic intensity of 1.8-1.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dirac.flops import cg_blas_flops_per_site, mobius_dslash_flops_per_5d_site
+
+__all__ = ["DslashCost", "dslash_cost", "STENCIL_APPS_PER_ITER"]
+
+#: 4D stencil sweeps per normal-operator application (D_eo, D_oe for
+#: S and again for S^H); each sweeps one half-checkerboard.
+STENCIL_APPS_PER_ITER = 4
+
+#: Half-precision arithmetic intensity of the fused dslash (flop/byte).
+DSLASH_ARITHMETIC_INTENSITY = 1.9
+
+#: BLAS-1 arithmetic intensity: axpy touches 3 numbers (6 bytes in half)
+#: for 2 flops per real.
+BLAS_ARITHMETIC_INTENSITY = 0.35
+
+
+@dataclass(frozen=True)
+class DslashCost:
+    """Per-GPU, per-CG-iteration work breakdown."""
+
+    local_5d_sites: int
+    flops_stencil: float
+    flops_blas: float
+    bytes_stencil: float
+    bytes_blas: float
+    kernel_launches: int
+
+    @property
+    def flops_total(self) -> float:
+        return self.flops_stencil + self.flops_blas
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_stencil + self.bytes_blas
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops_total / self.bytes_total
+
+
+def dslash_cost(local_4d_sites: int, ls: int) -> DslashCost:
+    """Cost of one CG iteration on one GPU's subdomain.
+
+    Parameters
+    ----------
+    local_4d_sites:
+        4D lattice sites owned by the GPU.
+    ls:
+        Fifth-dimension extent.
+    """
+    if local_4d_sites < 1:
+        raise ValueError(f"need >= 1 local site, got {local_4d_sites}")
+    n5 = local_4d_sites * ls
+    flops_stencil = n5 * mobius_dslash_flops_per_5d_site(ls)
+    flops_blas = n5 * cg_blas_flops_per_site()
+    return DslashCost(
+        local_5d_sites=n5,
+        flops_stencil=flops_stencil,
+        flops_blas=flops_blas,
+        bytes_stencil=flops_stencil / DSLASH_ARITHMETIC_INTENSITY,
+        bytes_blas=flops_blas / BLAS_ARITHMETIC_INTENSITY,
+        # dslash + 5th-dim kernels per stencil app, plus the BLAS tail.
+        kernel_launches=STENCIL_APPS_PER_ITER * 3 + 6,
+    )

@@ -1,0 +1,95 @@
+"""Single-GPU kernel timing model (the autotuner's search surface).
+
+A bandwidth-bound kernel's time is ``bytes / effective_bw`` plus launch
+overhead — but the *effective* bandwidth depends on the launch
+configuration: too few threads per block under-occupy the SMs, too many
+spill the per-thread cache working set.  The model encodes that as a
+smooth efficiency surface over block size with an architecture- and
+volume-dependent optimum, which is what QUDA's brute-force tuner
+searches at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.registry import GPUSpec
+
+__all__ = ["LaunchParams", "GPUKernelModel"]
+
+#: Block sizes the tuner may try (QUDA sweeps multiples of the warp size).
+BLOCK_SIZES: tuple[int, ...] = (32, 64, 96, 128, 160, 192, 256, 320, 384, 512, 768, 1024)
+
+
+@dataclass(frozen=True)
+class LaunchParams:
+    """A kernel launch configuration."""
+
+    block_size: int
+    #: registers-per-thread tier (0 = compiler default, 1 = capped)
+    reg_cap: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size not in BLOCK_SIZES:
+            raise ValueError(f"block_size {self.block_size} not in {BLOCK_SIZES}")
+        if self.reg_cap not in (0, 1):
+            raise ValueError("reg_cap must be 0 or 1")
+
+
+@dataclass(frozen=True)
+class GPUKernelModel:
+    """Timing surface for one (kernel, volume, precision) instance.
+
+    Parameters
+    ----------
+    gpu:
+        Architecture parameters.
+    bytes_moved:
+        Memory traffic of one kernel invocation.
+    flops:
+        Arithmetic work (only matters if the kernel were compute-bound).
+    working_set_per_thread:
+        Relative register/cache pressure in [0, 1]; shifts the optimal
+        block size downward (dslash ~0.8, BLAS ~0.2).
+    """
+
+    gpu: GPUSpec
+    bytes_moved: float
+    flops: float = 0.0
+    working_set_per_thread: float = 0.8
+
+    def _optimal_block(self) -> float:
+        """Architecture-dependent sweet spot of the occupancy/cache trade."""
+        arch_base = {"kepler": 128.0, "pascal": 256.0, "volta": 320.0}.get(
+            self.gpu.architecture, 256.0
+        )
+        return arch_base * (1.25 - 0.5 * self.working_set_per_thread)
+
+    def efficiency(self, params: LaunchParams) -> float:
+        """Fraction of the cache-amplified bandwidth achieved in [0.3, 1]."""
+        opt = self._optimal_block()
+        x = np.log2(params.block_size / opt)
+        eff = np.exp(-0.5 * (x / 1.1) ** 2)
+        if params.reg_cap == 1:
+            # Capping registers helps big working sets, hurts small ones.
+            eff *= 1.06 if self.working_set_per_thread > 0.6 else 0.92
+        return float(np.clip(eff, 0.30, 1.0))
+
+    def time(self, params: LaunchParams) -> float:
+        """Kernel wall time (seconds) under a launch configuration."""
+        bw = self.gpu.effective_bw_gbs * 1e9 * self.efficiency(params)
+        t_mem = self.bytes_moved / bw
+        t_compute = self.flops / (self.gpu.fp32_tflops * 1e12)
+        return max(t_mem, t_compute) + self.gpu.launch_overhead_s
+
+    def best_time(self) -> float:
+        """Time at the surface optimum (what a perfect tuner achieves)."""
+        return min(
+            self.time(LaunchParams(b, r)) for b in BLOCK_SIZES for r in (0, 1)
+        )
+
+    def default_time(self) -> float:
+        """Time at the untuned default launch (block 256, no cap)."""
+        return self.time(LaunchParams(256, 0))

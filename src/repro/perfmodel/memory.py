@@ -1,0 +1,114 @@
+"""GPU memory footprint of a domain-wall solve.
+
+Section V: "we will in general need a minimum number of GPUs for a given
+calculation due to memory overheads, and moreover, the outer loop over
+which we can parallelize, while large, is finite."  This model counts
+the resident bytes of a red-black mixed-precision CG — gauge links,
+the 5D Krylov vectors in their storage precisions, and the halo
+buffers — and yields the minimum GPU count per problem, which is what
+sets the 16-GPU group size of the production workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.halo import best_decomposition
+
+__all__ = ["SolveFootprint", "solve_footprint", "minimum_gpus"]
+
+#: HBM per GPU (GiB): K20X 6, P100 16, V100 16.
+GPU_MEMORY_GIB = {"K20X": 6.0, "P100": 16.0, "V100": 16.0}
+
+#: Krylov + residual + temporaries of the double-half reliable-update CG
+#: (QUDA keeps ~4 half vectors, 2 single, 2 double for the outer solve).
+N_HALF_VECTORS = 4
+N_SINGLE_VECTORS = 2
+N_DOUBLE_VECTORS = 2
+
+#: Fraction of HBM usable by field data (CUDA context, tunecache,
+#: workspace reserve the rest).
+USABLE_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class SolveFootprint:
+    """Resident bytes per GPU for one decomposed solve."""
+
+    n_gpus: int
+    gauge_bytes: float
+    vector_bytes: float
+    halo_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.gauge_bytes + self.vector_bytes + self.halo_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / 2**30
+
+    def fits(self, gpu_name: str) -> bool:
+        budget = GPU_MEMORY_GIB[gpu_name] * USABLE_FRACTION
+        return self.total_gib <= budget
+
+
+def solve_footprint(
+    global_dims: tuple[int, int, int, int],
+    ls: int,
+    n_gpus: int,
+) -> SolveFootprint:
+    """Per-GPU memory of a mixed-precision DWF solve on ``n_gpus``.
+
+    Raises ``ValueError`` when the lattice cannot be decomposed over the
+    requested GPU count.
+    """
+    decomp = best_decomposition(tuple(global_dims), n_gpus)
+    v4 = decomp.local_volume
+    v5 = v4 * ls
+    # Gauge: 4 links x 18 reals, double + single copies (QUDA keeps both).
+    gauge = v4 * 4 * 18 * (8.0 + 4.0)
+    # 5D spinors: 24 reals each, by precision tier (half = 2B + norms).
+    vec = v5 * 24 * (
+        N_HALF_VECTORS * (2.0 + 4.0 / 24.0)
+        + N_SINGLE_VECTORS * 4.0
+        + N_DOUBLE_VECTORS * 8.0
+    )
+    # Halo buffers: send+recv per partitioned face (half precision).
+    halo = 0.0
+    for mu in decomp.partitioned_dims():
+        halo += 2 * 2 * decomp.face_sites(mu) * ls * 12 * 2.0
+    return SolveFootprint(
+        n_gpus=n_gpus, gauge_bytes=gauge, vector_bytes=vec, halo_bytes=halo
+    )
+
+
+def minimum_gpus(
+    global_dims: tuple[int, int, int, int],
+    ls: int,
+    gpu_name: str = "V100",
+    gpus_per_node: int = 4,
+    max_gpus: int = 4096,
+) -> int:
+    """Smallest whole-node GPU count whose footprint fits the GPU.
+
+    This is the floor below which the data-parallel solve simply cannot
+    be deployed — the origin of the production job granularity.
+    """
+    if gpu_name not in GPU_MEMORY_GIB:
+        raise KeyError(f"unknown GPU {gpu_name}; have {sorted(GPU_MEMORY_GIB)}")
+    n = gpus_per_node
+    while n <= max_gpus:
+        try:
+            fp = solve_footprint(global_dims, ls, n)
+        except ValueError:
+            n += gpus_per_node
+            continue
+        if fp.fits(gpu_name):
+            return n
+        n += gpus_per_node
+    raise ValueError(
+        f"{global_dims} x {ls} does not fit on {max_gpus} {gpu_name} GPUs"
+    )

@@ -1,0 +1,70 @@
+"""Strong-scaling sweeps (Figures 3 and 4).
+
+A strong-scaling curve is just the solver model evaluated at increasing
+GPU counts on a fixed problem; this module adds the sweep plumbing and
+GPU-count selection (counts must decompose the lattice and respect whole
+nodes).
+"""
+
+from __future__ import annotations
+
+from repro.comm.halo import best_decomposition
+from repro.machines.registry import MachineSpec
+from repro.perfmodel.solver import SolverPerfModel, SolverPerfPoint
+
+__all__ = ["solver_performance", "strong_scaling", "admissible_gpu_counts"]
+
+
+def admissible_gpu_counts(
+    machine: MachineSpec,
+    global_dims: tuple[int, int, int, int],
+    max_gpus: int,
+    min_gpus: int = 1,
+) -> list[int]:
+    """GPU counts that are whole nodes and decompose the lattice."""
+    out = []
+    step = machine.gpus_per_node
+    n = max(step, (min_gpus + step - 1) // step * step)
+    while n <= max_gpus:
+        try:
+            best_decomposition(tuple(global_dims), n)
+        except ValueError:
+            pass
+        else:
+            out.append(n)
+        n += step
+    return out
+
+
+def solver_performance(
+    machine: MachineSpec,
+    global_dims: tuple[int, int, int, int],
+    ls: int,
+    n_gpus: int,
+    mpi_performance_factor: float = 1.0,
+) -> SolverPerfPoint:
+    """Single-point convenience wrapper around :class:`SolverPerfModel`."""
+    model = SolverPerfModel(
+        machine, tuple(global_dims), ls, mpi_performance_factor=mpi_performance_factor
+    )
+    return model.predict(n_gpus)
+
+
+def strong_scaling(
+    machine: MachineSpec,
+    global_dims: tuple[int, int, int, int],
+    ls: int,
+    gpu_counts: list[int] | None = None,
+    max_gpus: int = 160,
+) -> list[SolverPerfPoint]:
+    """Fig. 3 / Fig. 4 style sweep over GPU counts on one machine."""
+    model = SolverPerfModel(machine, tuple(global_dims), ls)
+    if gpu_counts is None:
+        gpu_counts = admissible_gpu_counts(machine, global_dims, max_gpus)
+    points = []
+    for n in gpu_counts:
+        try:
+            points.append(model.predict(n))
+        except ValueError:
+            continue  # no decomposition at this count
+    return points

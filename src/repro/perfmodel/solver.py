@@ -1,0 +1,179 @@
+"""End-to-end CG iteration time and solver performance metrics.
+
+Combines, per GPU and per CG iteration:
+
+* the bandwidth-roofline stencil time (cache-amplified, with a
+  small-local-volume tail-efficiency penalty — kernels stop saturating
+  the memory system when the working set shrinks);
+* the BLAS-1 tail;
+* the halo-exchange time from :mod:`repro.comm` for a given (or
+  autotuned) communication policy, partially hidden under the interior
+  compute, and inflated by fabric congestion at large node counts;
+* kernel-launch overheads and the per-iteration allreduce latency.
+
+Metrics follow the paper's conventions: aggregate TFlops from explicit
+flop counts, percent of single-precision peak with the 1.675x accounting
+factor, and per-GPU effective bandwidth via the arithmetic intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.halo import Decomposition, best_decomposition
+from repro.comm.model import CommCostModel
+from repro.comm.policies import CommPolicy, available_policies
+from repro.machines.registry import MachineSpec
+from repro.perfmodel.dslash import DslashCost, STENCIL_APPS_PER_ITER, dslash_cost
+
+__all__ = ["SolverPerfModel", "SolverPerfPoint"]
+
+#: Section VI accounting factor for percent-of-peak.
+PEAK_ACCOUNTING_FACTOR = 1.675
+
+#: Reporting arithmetic intensity used by the paper for Fig. 3(c).
+REPORTING_AI = 1.9
+
+#: 5D sites below which the memory system stops saturating.
+TAIL_SATURATION_SITES = 2.2e5
+
+#: Allreduce latency model: per-hop software latency (s).
+ALLREDUCE_HOP_LATENCY = 6e-6
+
+#: CG does two global reductions per iteration.
+ALLREDUCES_PER_ITER = 2
+
+#: Fabric congestion: inter-node comm slows by 1 + (nodes/scale)^exp as
+#: a single job's traffic fills the fat tree (adaptive-routing limits,
+#: shared up-links; calibrated to the Fig. 4 efficiency cliff).
+CONGESTION_NODE_SCALE = 250.0
+CONGESTION_EXPONENT = 0.5
+
+
+@dataclass(frozen=True)
+class SolverPerfPoint:
+    """Model prediction for one (machine, volume, GPU count) point."""
+
+    machine: str
+    n_gpus: int
+    ls: int
+    global_dims: tuple[int, int, int, int]
+    time_per_iter_s: float
+    flops_per_iter_per_gpu: float
+    policy: str
+
+    @property
+    def tflops_total(self) -> float:
+        """Aggregate sustained solver TFlops (raw flop count)."""
+        return self.flops_per_iter_per_gpu * self.n_gpus / self.time_per_iter_s / 1e12
+
+    @property
+    def tflops_per_gpu(self) -> float:
+        return self.tflops_total / self.n_gpus
+
+    @property
+    def pflops_total(self) -> float:
+        return self.tflops_total / 1000.0
+
+    def pct_peak(self, gpu_fp32_tflops: float) -> float:
+        """Percent of single-precision peak, paper accounting."""
+        return 100.0 * self.tflops_per_gpu * PEAK_ACCOUNTING_FACTOR / gpu_fp32_tflops
+
+    @property
+    def bw_per_gpu_gbs(self) -> float:
+        """Effective bandwidth per GPU via the reporting AI (Fig. 3c)."""
+        return self.tflops_per_gpu * 1e3 / REPORTING_AI
+
+
+@dataclass
+class SolverPerfModel:
+    """CG performance model for one machine and problem.
+
+    Parameters
+    ----------
+    machine:
+        Table II machine.
+    global_dims:
+        4D lattice extents.
+    ls:
+        Fifth dimension.
+    mpi_performance_factor:
+        Multiplies the final rate (e.g. 0.93 for the untuned MVAPICH2
+        build of Fig. 5).
+    """
+
+    machine: MachineSpec
+    global_dims: tuple[int, int, int, int]
+    ls: int
+    mpi_performance_factor: float = 1.0
+
+    def decomposition(self, n_gpus: int) -> Decomposition:
+        return best_decomposition(tuple(self.global_dims), n_gpus)
+
+    # -- pieces ------------------------------------------------------------
+    def _tail_efficiency(self, n5_local: float) -> float:
+        """Memory-system saturation at small local volumes."""
+        return n5_local / (n5_local + TAIL_SATURATION_SITES)
+
+    def _congestion(self, n_nodes: float) -> float:
+        return 1.0 + (n_nodes / CONGESTION_NODE_SCALE) ** CONGESTION_EXPONENT
+
+    def _interior_time(self, cost: DslashCost) -> float:
+        gpu = self.machine.gpu
+        eff_bw = gpu.effective_bw_gbs * 1e9 * self._tail_efficiency(cost.local_5d_sites)
+        t_stencil = cost.bytes_stencil / eff_bw
+        # BLAS runs at STREAM bandwidth (no cache reuse to amplify).
+        t_blas = cost.bytes_blas / (gpu.mem_bw_gbs * 1e9)
+        t_launch = cost.kernel_launches * gpu.launch_overhead_s
+        return t_stencil + t_blas + t_launch
+
+    def _comm_time(self, decomp: Decomposition, policy: CommPolicy, n_gpus: int) -> float:
+        if not decomp.partitioned_dims():
+            return 0.0
+        model = CommCostModel(self.machine, decomp, self.ls)
+        per_app = model.exchange_time(policy)
+        n_nodes = max(1.0, n_gpus / self.machine.gpus_per_node)
+        # Checkerboarded stencils exchange half-size halos, 4x per iter.
+        return 0.5 * STENCIL_APPS_PER_ITER * per_app * self._congestion(n_nodes)
+
+    def _allreduce_time(self, n_gpus: int) -> float:
+        if n_gpus <= 1:
+            return 0.0
+        return ALLREDUCES_PER_ITER * ALLREDUCE_HOP_LATENCY * np.log2(n_gpus)
+
+    def iteration_time(self, n_gpus: int, policy: CommPolicy) -> float:
+        """Seconds per CG iteration under one communication policy."""
+        decomp = self.decomposition(n_gpus)
+        cost = dslash_cost(decomp.local_volume, self.ls)
+        t_int = self._interior_time(cost)
+        t_comm = self._comm_time(decomp, policy, n_gpus)
+        exposed = max(0.0, t_comm - policy.overlap_fraction * t_int)
+        t_halo_kernel = policy.kernel_launches * self.machine.gpu.launch_overhead_s
+        t = t_int + exposed + t_halo_kernel + self._allreduce_time(n_gpus)
+        return t / self.mpi_performance_factor
+
+    def tuned_policy(self, n_gpus: int) -> CommPolicy:
+        """The communication policy the autotuner would pick."""
+        return min(
+            available_policies(self.machine),
+            key=lambda p: self.iteration_time(n_gpus, p),
+        )
+
+    # -- public ------------------------------------------------------------
+    def predict(self, n_gpus: int, policy: CommPolicy | None = None) -> SolverPerfPoint:
+        """Performance at one GPU count (autotuned policy by default)."""
+        if policy is None:
+            policy = self.tuned_policy(n_gpus)
+        decomp = self.decomposition(n_gpus)
+        cost = dslash_cost(decomp.local_volume, self.ls)
+        return SolverPerfPoint(
+            machine=self.machine.name,
+            n_gpus=n_gpus,
+            ls=self.ls,
+            global_dims=tuple(self.global_dims),
+            time_per_iter_s=self.iteration_time(n_gpus, policy),
+            flops_per_iter_per_gpu=cost.flops_total,
+            policy=policy.name,
+        )

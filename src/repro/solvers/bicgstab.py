@@ -1,0 +1,100 @@
+"""BiCGStab for non-hermitian systems.
+
+Not the production path of the paper (CGNE on the normal equations wins
+for Mobius domain-wall fermions) but the standard comparison point for
+Wilson-type operators; we include it both as a baseline and to exercise
+solver-agnostic plumbing (the autotuner tunes kernels, not solvers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.cg import MatVec, SolveResult, _dot, _norm
+
+__all__ = ["BiCGStab"]
+
+
+@dataclass
+class BiCGStab:
+    """Stabilized bi-conjugate gradient for general ``A x = b``.
+
+    Parameters mirror :class:`repro.solvers.cg.ConjugateGradient`; each
+    iteration costs two operator applications.
+    """
+
+    tol: float = 1e-10
+    max_iter: int = 10_000
+    flops_per_matvec: float = 0.0
+    blas_flops_per_iter: float = 0.0
+
+    def solve(self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+        b = np.asarray(b, dtype=np.complex128)
+        bnorm = _norm(b)
+        if bnorm == 0.0:
+            return SolveResult(np.zeros_like(b), True, 0, 0.0)
+
+        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
+        r = b - matvec(x) if x0 is not None else b.copy()
+        flops = self.flops_per_matvec if x0 is not None else 0.0
+        r_hat = r.copy()  # shadow residual
+        rho_old = alpha = omega = 1.0 + 0.0j
+        v = np.zeros_like(b)
+        p = np.zeros_like(b)
+        history: list[float] = []
+        iterations = 0
+        converged = False
+
+        while iterations < self.max_iter:
+            rho = _dot(r_hat, r)
+            if rho == 0.0:
+                break  # breakdown
+            if iterations == 0:
+                p = r.copy()
+            else:
+                beta = (rho / rho_old) * (alpha / omega)
+                p = r + beta * (p - omega * v)
+            v = matvec(p)
+            iterations += 1
+            flops += self.flops_per_matvec + self.blas_flops_per_iter
+            denom = _dot(r_hat, v)
+            if denom == 0.0:
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            snorm = _norm(s)
+            if snorm <= self.tol * bnorm:
+                x += alpha * p
+                history.append(snorm / bnorm)
+                converged = True
+                break
+            t = matvec(s)
+            iterations += 1
+            flops += self.flops_per_matvec
+            t_t = _dot(t, t).real
+            if t_t == 0.0:
+                break
+            omega = _dot(t, s) / t_t
+            x += alpha * p + omega * s
+            r = s - omega * t
+            rnorm = _norm(r)
+            history.append(rnorm / bnorm)
+            if rnorm <= self.tol * bnorm:
+                converged = True
+                break
+            if omega == 0.0:
+                break
+            rho_old = rho
+
+        final = _norm(b - matvec(x)) / bnorm
+        flops += self.flops_per_matvec
+        return SolveResult(
+            x=x,
+            converged=converged,
+            iterations=iterations,
+            final_relres=final,
+            flops=flops,
+            residual_history=history,
+        )

@@ -1,0 +1,155 @@
+"""Lanczos eigensolver and eigenvector deflation for CG.
+
+Light-quark Dirac solves are dominated by a handful of low modes of
+``D^H D``; computing them once per configuration and projecting them out
+of every subsequent solve ("deflation") is how production campaigns
+amortize the 12 x N_propagator solves of the paper's workflow.  This is
+the laptop-scale analogue of QUDA's eigCG/ARPACK deflation path.
+
+The Lanczos iteration here uses full reorthogonalization — at the vector
+counts relevant for this package (tens), robustness beats the memory
+saving of selective reorthogonalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.cg import ConjugateGradient, MatVec, SolveResult
+from repro.utils.rng import make_rng
+
+__all__ = ["LanczosResult", "lanczos_lowest", "DeflatedCG"]
+
+
+@dataclass(frozen=True)
+class LanczosResult:
+    """Approximate lowest eigenpairs of a hermitian operator."""
+
+    eigenvalues: np.ndarray  # (k,) ascending
+    eigenvectors: list[np.ndarray]  # k arrays of the operator's shape
+    residuals: np.ndarray  # (k,) ||A v - lambda v||
+    iterations: int
+
+
+def _dot(a: np.ndarray, b: np.ndarray) -> complex:
+    return complex(np.vdot(a, b))
+
+
+def _norm(a: np.ndarray) -> float:
+    return float(np.linalg.norm(a.ravel()))
+
+
+def lanczos_lowest(
+    matvec: MatVec,
+    template: np.ndarray,
+    n_eigen: int,
+    n_krylov: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> LanczosResult:
+    """Lowest ``n_eigen`` eigenpairs of a hermitian positive operator.
+
+    Parameters
+    ----------
+    matvec:
+        The operator.
+    template:
+        Any array of the operator's shape/dtype (used to seed the
+        start vector).
+    n_eigen:
+        Number of eigenpairs wanted.
+    n_krylov:
+        Krylov-space dimension (default ``6 * n_eigen + 40``).  Deflation
+        only pays off once the eigenpair residuals are below the solver
+        tolerance — initial-guess deflation with sloppy vectors lets the
+        deflated error components resurface inside CG — so err on the
+        large side.
+    """
+    if n_eigen < 1:
+        raise ValueError("need at least one eigenpair")
+    rng = make_rng(rng)
+    m = n_krylov or (6 * n_eigen + 40)
+    if m < n_eigen:
+        raise ValueError(f"Krylov dimension {m} < requested eigenpairs {n_eigen}")
+
+    shape = template.shape
+    v = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    v = v / _norm(v)
+    basis: list[np.ndarray] = [v]
+    alphas: list[float] = []
+    betas: list[float] = []
+
+    for j in range(m):
+        w = matvec(basis[j])
+        alpha = _dot(basis[j], w).real
+        alphas.append(alpha)
+        w = w - alpha * basis[j]
+        if j > 0:
+            w = w - betas[-1] * basis[j - 1]
+        # Full reorthogonalization (twice is enough).
+        for _ in range(2):
+            for q in basis:
+                w = w - _dot(q, w) * q
+        beta = _norm(w)
+        if beta < 1e-14:
+            break  # invariant subspace found
+        if j < m - 1:
+            betas.append(beta)
+            basis.append(w / beta)
+
+    k = len(alphas)
+    tri = np.diag(np.array(alphas))
+    for i, b in enumerate(betas[: k - 1]):
+        tri[i, i + 1] = tri[i + 1, i] = b
+    evals, evecs = np.linalg.eigh(tri)
+
+    n_out = min(n_eigen, k)
+    vectors: list[np.ndarray] = []
+    residuals = np.empty(n_out)
+    for i in range(n_out):
+        vec = np.zeros(shape, dtype=np.complex128)
+        for j in range(k):
+            vec = vec + evecs[j, i] * basis[j]
+        vec = vec / _norm(vec)
+        residuals[i] = _norm(matvec(vec) - evals[i] * vec)
+        vectors.append(vec)
+    return LanczosResult(
+        eigenvalues=evals[:n_out].copy(),
+        eigenvectors=vectors,
+        residuals=residuals,
+        iterations=k,
+    )
+
+
+@dataclass
+class DeflatedCG:
+    """CG with low-mode deflation of the initial guess.
+
+    The known eigenpairs solve their subspace exactly
+    (``x0 = sum_i v_i (v_i^H b) / lambda_i``) and the Krylov iteration
+    only has to handle the orthogonal complement, whose effective
+    condition number excludes the deflated modes — fewer iterations per
+    solve, amortized over the campaign's thousands of right-hand sides.
+    """
+
+    eigen: LanczosResult
+    tol: float = 1e-10
+    max_iter: int = 10_000
+    flops_per_matvec: float = 0.0
+
+    def deflate(self, b: np.ndarray) -> np.ndarray:
+        """The exactly-solved low-mode component of the solution."""
+        x0 = np.zeros_like(b)
+        for lam, v in zip(self.eigen.eigenvalues, self.eigen.eigenvectors):
+            if lam <= 0:
+                raise ValueError("deflation requires positive eigenvalues")
+            x0 = x0 + (_dot(v, b) / lam) * v
+        return x0
+
+    def solve(self, matvec: MatVec, b: np.ndarray) -> SolveResult:
+        x0 = self.deflate(b)
+        inner = ConjugateGradient(
+            tol=self.tol, max_iter=self.max_iter, flops_per_matvec=self.flops_per_matvec
+        )
+        return inner.solve(matvec, b, x0=x0)

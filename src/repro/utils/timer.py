@@ -1,0 +1,72 @@
+"""Lightweight timing utilities.
+
+The paper times GPU kernels with CPU-side timers synchronized with the
+device (Section VI).  Here :class:`Timer` plays the same role for the
+NumPy "kernels", and :class:`WallClock` is an injectable clock so the
+discrete-event simulator and tests can control time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WallClock"]
+
+
+class WallClock:
+    """A monotonic clock that can be replaced by a virtual one in tests."""
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch with call counting.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.calls
+    1
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = self.clock.now()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        dt = self.clock.now() - self._start
+        self._start = None
+        self.elapsed += dt
+        self.calls += 1
+        return dt
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0 if never called)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None

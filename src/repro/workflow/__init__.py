@@ -1,0 +1,20 @@
+"""The Fig. 2 application workflow and its performance accounting.
+
+Propagator solves (GPU, ~96.5% of compute), tensor contractions (CPU,
+~3%) and I/O (~0.5%) — with ``mpi_jm`` interleaving the contractions on
+the idle CPUs of GPU-busy nodes so their cost is amortized to zero, and
+I/O excluded per the paper's budget argument.
+"""
+
+from repro.workflow.accounting import ApplicationBudget, PAPER_BUDGET
+from repro.workflow.pipeline import ApplicationWorkflow, WorkflowReport
+from repro.workflow.speedup import machine_to_machine_speedup, sustained_application_pflops
+
+__all__ = [
+    "ApplicationBudget",
+    "PAPER_BUDGET",
+    "ApplicationWorkflow",
+    "WorkflowReport",
+    "machine_to_machine_speedup",
+    "sustained_application_pflops",
+]

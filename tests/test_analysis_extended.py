@@ -1,0 +1,175 @@
+"""Autocorrelation, model averaging and the PCAC Ward identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_ga_over_windows,
+    axial_pseudoscalar_correlator,
+    effective_samples,
+    integrated_autocorr,
+    model_average,
+    pcac_mass,
+)
+from repro.contractions import compute_wilson_propagator, pion_correlator
+from repro.core import SyntheticGAEnsemble
+from repro.dirac import WilsonOperator
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater
+from repro.solvers import ConjugateGradient
+from repro.utils.rng import make_rng
+
+
+def _ar1(tau: float, n: int, seed: int) -> np.ndarray:
+    """AR(1) chain with known integrated autocorrelation time.
+
+    For phi = exp(-1/tau_exp), tau_int = (1+phi)/(2(1-phi)).
+    """
+    rng = np.random.default_rng(seed)
+    phi = np.exp(-1.0 / tau)
+    x = np.empty(n)
+    x[0] = rng.normal()
+    noise = rng.normal(size=n) * np.sqrt(1 - phi**2)
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + noise[i]
+    return x
+
+
+class TestAutocorrelation:
+    def test_iid_series_has_tau_half(self):
+        x = np.random.default_rng(0).normal(size=4000)
+        res = integrated_autocorr(x)
+        assert res.tau_int == pytest.approx(0.5, abs=0.15)
+
+    def test_ar1_matches_theory(self):
+        tau_exp = 5.0
+        phi = np.exp(-1.0 / tau_exp)
+        expected = (1 + phi) / (2 * (1 - phi))
+        x = _ar1(tau_exp, 40_000, seed=1)
+        res = integrated_autocorr(x)
+        assert res.tau_int == pytest.approx(expected, rel=0.15)
+
+    def test_effective_samples_shrink_with_correlation(self):
+        n = 8000
+        iid = np.random.default_rng(2).normal(size=n)
+        corr = _ar1(8.0, n, seed=3)
+        assert effective_samples(corr) < 0.4 * effective_samples(iid)
+
+    def test_error_estimate_positive(self):
+        res = integrated_autocorr(_ar1(3.0, 2000, seed=4))
+        assert res.tau_int_error > 0
+        assert res.effective_samples < res.n_samples
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            integrated_autocorr(np.ones(4))
+        with pytest.raises(ValueError):
+            integrated_autocorr(np.ones(100))  # constant series
+
+    def test_heatbath_plaquette_history_is_correlated(self):
+        """Real Monte Carlo: successive heatbath sweeps are correlated."""
+        g = GaugeField.hot(Geometry(4, 4, 4, 4), make_rng(5))
+        hb = HeatbathUpdater(beta=5.9, rng=make_rng(6), n_overrelax=0)
+        hb.thermalize(g, 10)
+        history = np.array(hb.thermalize(g, 60))
+        res = integrated_autocorr(history, c=4.0)
+        assert res.tau_int >= 0.5
+
+
+class TestModelAverage:
+    def test_single_model_passthrough(self):
+        res = model_average(
+            np.array([1.27]), np.array([0.01]), np.array([5.0]),
+            np.array([4]), np.array([10]),
+        )
+        assert res.value == pytest.approx(1.27)
+        assert res.error == pytest.approx(0.01)
+        assert res.weights == (1.0,)
+
+    def test_bad_fit_downweighted(self):
+        """A model with huge chi2 contributes almost nothing."""
+        res = model_average(
+            np.array([1.27, 9.99]),
+            np.array([0.01, 0.01]),
+            np.array([5.0, 500.0]),
+            np.array([4, 4]),
+            np.array([10, 10]),
+        )
+        assert res.value == pytest.approx(1.27, abs=0.01)
+        assert res.weights[1] < 1e-10
+
+    def test_spread_enters_error(self):
+        """Two equally good but discrepant models widen the average."""
+        res = model_average(
+            np.array([1.25, 1.30]),
+            np.array([0.005, 0.005]),
+            np.array([5.0, 5.0]),
+            np.array([4, 4]),
+            np.array([10, 10]),
+        )
+        assert res.error > 0.02  # dominated by the 0.05 spread
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model_average(np.array([1.0]), np.array([0.1]), np.array([1.0]),
+                          np.array([2]), np.array([5, 6]))
+        with pytest.raises(ValueError):
+            model_average(np.array([]), np.array([]), np.array([]),
+                          np.array([]), np.array([]))
+
+    def test_window_average_on_synthetic_ensemble(self):
+        """The production pattern: g_A averaged over fit windows stays
+        on the injected truth with an honest error."""
+        ens = SyntheticGAEnsemble(rng=44)
+        c2, cfh = ens.sample_correlators(784)
+        avg, fits = average_ga_over_windows(c2, cfh)
+        assert len(fits) >= 4
+        assert sum(avg.weights) == pytest.approx(1.0)
+        assert abs(avg.value - ens.spec.g_a) < 4.0 * avg.error
+        assert avg.error < 0.05
+
+
+class TestPCAC:
+    @pytest.fixture(scope="class")
+    def free_field(self):
+        geom = Geometry(4, 4, 4, 8)
+        gauge = GaugeField.cold(geom)
+        out = {}
+        for m0 in (0.2, 0.4):
+            w = WilsonOperator(gauge, mass=m0)
+            prop, _ = compute_wilson_propagator(
+                w, solver=ConjugateGradient(tol=1e-10, max_iter=4000)
+            )
+            cap = axial_pseudoscalar_correlator(prop)
+            cpp = pion_correlator(prop)
+            out[m0] = pcac_mass(cap, cpp)
+        return out
+
+    def test_tree_level_pcac_equals_bare_mass(self, free_field):
+        """Free Wilson fermions: m_PCAC == m0 up to O(a m^2) artifacts."""
+        for m0, m in free_field.items():
+            mid = m[len(m) // 2]
+            assert mid == pytest.approx(m0, rel=0.1)
+
+    def test_plateau_in_interior(self, free_field):
+        """Away from the source contact region m_PCAC is flat."""
+        m = free_field[0.2]
+        interior = m[2:-1]
+        assert interior.std() < 0.1 * abs(interior.mean())
+
+    def test_monotone_in_bare_mass(self, free_field):
+        assert free_field[0.4][2] > free_field[0.2][2]
+
+    def test_positive_on_interacting_background(self):
+        gauge = GaugeField.random(Geometry(4, 4, 4, 8), make_rng(7), scale=0.3)
+        w = WilsonOperator(gauge, mass=0.3)
+        prop, _ = compute_wilson_propagator(
+            w, solver=ConjugateGradient(tol=1e-9, max_iter=5000)
+        )
+        m = pcac_mass(axial_pseudoscalar_correlator(prop), pion_correlator(prop))
+        assert m[len(m) // 2] > 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pcac_mass(np.ones(8), np.ones(7))

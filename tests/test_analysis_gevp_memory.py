@@ -1,0 +1,100 @@
+"""GEVP variational analysis and the GPU memory-footprint model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.gevp import GEVPResult, effective_energies, solve_gevp
+from repro.perfmodel.memory import minimum_gpus, solve_footprint
+
+
+def _two_state_matrix(nt=16, e=(0.5, 0.9), noise=0.0, seed=0):
+    """C_ij(t) = sum_k Z_ik Z_jk exp(-E_k t) with known overlaps."""
+    rng = np.random.default_rng(seed)
+    z = np.array([[1.0, 0.4], [0.3, 1.1]])
+    t = np.arange(nt)
+    corr = np.einsum("ik,jk,tk->tij", z, z, np.exp(-np.outer(t, e)))
+    if noise:
+        corr = corr * (1.0 + noise * rng.normal(size=corr.shape))
+        corr = 0.5 * (corr + np.swapaxes(corr, 1, 2))
+    return corr
+
+
+class TestGEVP:
+    def test_recovers_both_energies_exactly(self):
+        corr = _two_state_matrix()
+        res = solve_gevp(corr, t0=2)
+        energies = effective_energies(res)
+        # plateaus at t > t0: both states resolved
+        np.testing.assert_allclose(energies[6], [0.5, 0.9], atol=1e-8)
+
+    def test_eigenvalues_descending(self):
+        res = solve_gevp(_two_state_matrix(), t0=2)
+        lam = res.eigenvalues[5]
+        assert lam[0] > lam[1] > 0
+
+    def test_noise_tolerant(self):
+        corr = _two_state_matrix(noise=1e-4, seed=3)
+        res = solve_gevp(corr, t0=2)
+        energies = effective_energies(res)
+        np.testing.assert_allclose(energies[5], [0.5, 0.9], atol=0.05)
+
+    def test_ground_state_matches_single_operator_at_late_t(self):
+        """At large t the principal correlator and the 00 element give
+        the same effective mass."""
+        corr = _two_state_matrix(nt=20)
+        res = solve_gevp(corr, t0=2)
+        gevp_e = effective_energies(res)[12, 0]
+        diag = corr[:, 0, 0]
+        plain_e = np.log(diag[12] / diag[13])
+        assert gevp_e == pytest.approx(0.5, abs=1e-6)
+        assert plain_e == pytest.approx(0.5, abs=0.01)  # still contaminated
+
+    def test_validation(self):
+        corr = _two_state_matrix()
+        with pytest.raises(ValueError):
+            solve_gevp(corr[:, :, :1], t0=2)
+        with pytest.raises(ValueError):
+            solve_gevp(corr, t0=99)
+        with pytest.raises(ValueError):
+            solve_gevp(corr, t0=2, t_ref=99)
+
+    def test_non_positive_metric_rejected(self):
+        corr = _two_state_matrix()
+        corr[2] = -corr[2]
+        with pytest.raises(ValueError, match="positive definite"):
+            solve_gevp(corr, t0=2)
+
+
+class TestMemoryModel:
+    def test_paper_group_sizes_are_memory_minima(self):
+        """The production granularities match the footprint floor:
+        48^3x64x20 fits from 8 V100s (run on 16 = 4 Sierra nodes);
+        64^3x96x12 needs exactly the 24 GPUs of the Summit groups."""
+        assert minimum_gpus((48, 48, 48, 64), 20) == 8
+        assert minimum_gpus((64, 64, 64, 96), 12, gpus_per_node=6) == 24
+
+    def test_large_lattice_needs_many_gpus(self):
+        m = minimum_gpus((96, 96, 96, 144), 20)
+        assert m >= 100  # cannot run small — Fig. 4's starting point
+
+    def test_footprint_shrinks_with_gpus(self):
+        a = solve_footprint((48, 48, 48, 64), 20, 8)
+        b = solve_footprint((48, 48, 48, 64), 20, 32)
+        assert b.total_bytes < a.total_bytes / 2.5
+
+    def test_k20x_has_less_room(self):
+        """Titan's 6 GiB K20X cannot hold what a V100 can."""
+        fp = solve_footprint((48, 48, 48, 64), 20, 16)
+        assert fp.fits("V100") and not fp.fits("K20X")
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(KeyError):
+            minimum_gpus((48, 48, 48, 64), 20, gpu_name="H100")
+
+    def test_vector_memory_dominates(self):
+        """The 5D Krylov vectors, not the gauge field, set the floor —
+        why Ls multiplies the cost of everything."""
+        fp = solve_footprint((48, 48, 48, 64), 20, 16)
+        assert fp.vector_bytes > 5.0 * fp.gauge_bytes

@@ -1,0 +1,87 @@
+"""Jackknife and bootstrap: exactness on linear estimators, robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bootstrap, jackknife, jackknife_covariance
+
+
+class TestJackknife:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_estimator_matches_standard_error(self, seed):
+        """For the identity estimator the jackknife error equals the
+        textbook standard error of the mean, exactly."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=50)
+        val, err = jackknife(x)
+        assert val == pytest.approx(x.mean())
+        assert err == pytest.approx(x.std(ddof=1) / np.sqrt(len(x)), rel=1e-10)
+
+    def test_nonlinear_estimator(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(loc=5.0, size=400)
+        val, err = jackknife(x, estimator=lambda m: m**2)
+        assert val == pytest.approx(x.mean() ** 2)
+        # error of m^2 is ~ 2 m sigma_m
+        expected = 2 * abs(x.mean()) * x.std(ddof=1) / np.sqrt(len(x))
+        assert err == pytest.approx(expected, rel=0.05)
+
+    def test_vector_valued(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 4))
+        val, err = jackknife(x)
+        assert val.shape == (4,) and err.shape == (4,)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            jackknife(np.ones(1))
+
+
+class TestJackknifeCovariance:
+    def test_diagonal_matches_error_of_mean(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(200, 3))
+        cov = jackknife_covariance(x)
+        var_mean = x.var(axis=0, ddof=1) / len(x)
+        np.testing.assert_allclose(np.diag(cov), var_mean, rtol=1e-10)
+
+    def test_positive_semidefinite(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(50, 6))
+        cov = jackknife_covariance(x)
+        eigs = np.linalg.eigvalsh(cov)
+        assert eigs.min() > -1e-15
+
+    def test_captures_correlation(self):
+        rng = np.random.default_rng(5)
+        z = rng.normal(size=(500, 1))
+        x = np.concatenate([z, z + 0.01 * rng.normal(size=(500, 1))], axis=1)
+        cov = jackknife_covariance(x)
+        corr = cov[0, 1] / np.sqrt(cov[0, 0] * cov[1, 1])
+        assert corr > 0.99
+
+
+class TestBootstrap:
+    def test_matches_jackknife_for_mean(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=300)
+        _, jk_err = jackknife(x)
+        _, bs_err = bootstrap(x, n_boot=400, rng=7)
+        assert bs_err == pytest.approx(jk_err, rel=0.2)
+
+    def test_reproducible_with_seed(self):
+        x = np.random.default_rng(8).normal(size=40)
+        a = bootstrap(x, n_boot=50, rng=9)
+        b = bootstrap(x, n_boot=50, rng=9)
+        assert a[1] == pytest.approx(b[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap(np.ones(1))
+        with pytest.raises(ValueError):
+            bootstrap(np.ones(5), n_boot=1)

@@ -1,0 +1,43 @@
+"""The repro-report command-line tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_all_sections(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Headline" in out
+
+    def test_single_section(self, capsys):
+        assert main(["--section", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Sierra" in out and "Table I:" not in out
+
+    def test_headlines_contain_anchors(self, capsys):
+        main(["--section", "headlines"])
+        out = capsys.readouterr().out
+        assert "GB/s/GPU" in out
+        assert "tau_n" in out
+        assert "mpi_jm startup" in out
+
+    def test_memory_section(self, capsys):
+        assert main(["--section", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "min V100 GPUs" in out
+
+    def test_tts_section(self, capsys):
+        assert main(["--section", "tts"]) == 0
+        out = capsys.readouterr().out
+        assert "Time to solution" in out and "Sierra days" in out
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--section", "nope"])

@@ -1,0 +1,176 @@
+"""Discrete-event cluster simulator: causality, conservation, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSim, NaiveBundler, Task, WorkloadSpec, make_propagator_workload
+from repro.machines import get_machine
+
+
+def _sim(n=8, rng=0, jitter=0.0):
+    return ClusterSim(n, gpus_per_node=4, cpus_per_node=16, rng=rng, perf_jitter=jitter)
+
+
+def _task(name="t", n_nodes=1, gpus=4, cpus=2, work=10.0, flops=1e12):
+    return Task(name=name, n_nodes=n_nodes, gpus_per_node=gpus, cpus_per_node=cpus,
+                work=work, flops=flops)
+
+
+class TestEventQueue:
+    def test_events_fire_in_order(self):
+        sim = _sim()
+        order = []
+        sim.at(5.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.after(7.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 7.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = _sim()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+
+    def test_run_until_horizon(self):
+        sim = _sim()
+        fired = []
+        sim.at(3.0, lambda: fired.append(1))
+        sim.at(9.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+
+class TestResources:
+    def test_start_and_complete_restores_resources(self):
+        sim = _sim()
+        t = _task(work=4.0)
+        sim.start_task(t, [0])
+        assert sim.nodes[0].gpus_free == 0
+        sim.run()
+        assert sim.nodes[0].gpus_free == 4
+        assert t.state == "done"
+        assert sim.completed == [t]
+
+    def test_oversubscription_rejected(self):
+        sim = _sim()
+        sim.start_task(_task(name="a"), [0])
+        with pytest.raises(RuntimeError):
+            sim.start_task(_task(name="b"), [0])
+
+    def test_double_start_rejected(self):
+        sim = _sim()
+        t = _task()
+        sim.start_task(t, [0])
+        with pytest.raises(RuntimeError):
+            sim.start_task(t, [1])
+
+    def test_failed_node_excluded(self):
+        sim = _sim()
+        sim.fail_node(0)
+        assert 0 not in sim.free_nodes(1, 1)
+        with pytest.raises(RuntimeError):
+            sim.start_task(_task(), [0])
+
+    def test_slowest_node_gates_duration(self):
+        sim = ClusterSim(2, 4, 16, rng=1, perf_jitter=0.0)
+        sim.nodes[1].perf_factor = 0.5
+        t = _task(n_nodes=2, work=10.0)
+        end = sim.start_task(t, [0, 1])
+        assert end == pytest.approx(20.0)
+
+    def test_placement_penalty_applied(self):
+        sim = _sim()
+        t = _task(work=10.0)
+        end = sim.start_task(t, [0], placement_penalty=1.5)
+        assert end == pytest.approx(15.0)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_gpu_seconds_conserved(self, seed):
+        """Property: busy GPU-seconds equals the sum over completed
+        tasks of duration x GPUs, and utilization never exceeds 1."""
+        rng = np.random.default_rng(seed)
+        sim = ClusterSim(4, 4, 16, rng=seed, perf_jitter=0.0)
+        tasks = [
+            _task(name=f"t{i}", work=float(rng.uniform(1, 5)))
+            for i in range(6)
+        ]
+        NaiveBundler(sim).run(tasks)
+        expected = sum((t.end_time - t.start_time) * 4 for t in sim.completed)
+        assert sim.busy_gpu_seconds == pytest.approx(expected)
+        assert 0.0 < sim.gpu_utilization() <= 1.0 + 1e-12
+
+
+class TestTaskValidation:
+    def test_no_resources_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="x", n_nodes=1, gpus_per_node=0, cpus_per_node=0, work=1.0)
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(ValueError):
+            _task(work=0.0)
+
+    def test_clone_resets_state(self):
+        sim = _sim()
+        t = _task()
+        sim.start_task(t, [0])
+        c = t.clone()
+        assert c.state == "pending" and c.nodes == []
+
+
+class TestNaiveBundler:
+    def test_all_tasks_complete(self):
+        sim = _sim()
+        tasks = [_task(name=f"t{i}", work=float(i + 1)) for i in range(10)]
+        NaiveBundler(sim).run(tasks)
+        assert len(sim.completed) == 10
+
+    def test_bundle_barrier_wastes_time(self):
+        """With heterogeneous durations the naive bundler's makespan is
+        set by per-bundle maxima: strictly worse than the work bound."""
+        sim = _sim(n=4)
+        tasks = [
+            _task(name=f"t{i}", work=w)
+            for i, w in enumerate([10.0, 1.0, 10.0, 1.0, 10.0, 1.0, 10.0, 1.0])
+        ]
+        makespan = NaiveBundler(sim).run(tasks)
+        perfect = sum(t.work for t in tasks) / 4.0
+        assert makespan > 1.5 * perfect
+
+    def test_oversized_task_rejected(self):
+        sim = _sim(n=2)
+        with pytest.raises(RuntimeError):
+            NaiveBundler(sim).run([_task(n_nodes=5)])
+
+
+class TestWorkload:
+    def test_workload_shape(self):
+        sierra = get_machine("sierra")
+        spec = WorkloadSpec(n_propagators=10)
+        tasks = make_propagator_workload(sierra, spec, rng=0)
+        assert len(tasks) == 10
+        assert all(t.n_nodes == 4 and t.gpus_per_node == 4 for t in tasks)
+        assert all(t.flops > 0 for t in tasks)
+
+    def test_durations_vary(self):
+        sierra = get_machine("sierra")
+        tasks = make_propagator_workload(sierra, WorkloadSpec(n_propagators=30), rng=1)
+        works = [t.work for t in tasks]
+        assert np.std(works) / np.mean(works) > 0.05
+
+    def test_contractions_included_when_asked(self):
+        sierra = get_machine("sierra")
+        tasks = make_propagator_workload(
+            sierra, WorkloadSpec(n_propagators=5), rng=2, with_contractions=True
+        )
+        kinds = {t.tags[0] for t in tasks}
+        assert kinds == {"propagator", "contraction"}
+        assert len(tasks) == 10

@@ -1,0 +1,72 @@
+"""Gantt/timeline rendering of simulated campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSim, NaiveBundler, Task
+from repro.cluster.trace import render_gantt, utilization_timeline
+from repro.jobmgr import METAQ
+
+
+def _run(scheduler_cls, n_tasks=12, rng=1):
+    sim = ClusterSim(4, 4, 16, rng=rng, perf_jitter=0.0)
+    rgen = np.random.default_rng(rng)
+    tasks = [
+        Task(name=f"t{i}", n_nodes=1, gpus_per_node=4, cpus_per_node=2,
+             work=float(rgen.uniform(5, 30)), flops=1.0)
+        for i in range(n_tasks)
+    ]
+    if scheduler_cls is NaiveBundler:
+        NaiveBundler(sim).run(tasks)
+    else:
+        METAQ(sim).run(tasks)
+    return sim
+
+
+class TestUtilizationTimeline:
+    def test_bounded_zero_one(self):
+        sim = _run(METAQ)
+        util = utilization_timeline(sim, n_bins=30)
+        assert util.shape == (30,)
+        assert np.all(util >= 0.0) and np.all(util <= 1.0 + 1e-9)
+
+    def test_integral_matches_busy_seconds(self):
+        sim = _run(NaiveBundler)
+        util = utilization_timeline(sim, n_bins=200)
+        total_gpus = sum(n.gpus_total for n in sim.nodes)
+        integral = util.mean() * sim.now * total_gpus
+        assert integral == pytest.approx(sim.busy_gpu_seconds, rel=0.02)
+
+    def test_empty_sim(self):
+        sim = ClusterSim(2, 4, 8, rng=0)
+        assert np.all(utilization_timeline(sim) == 0.0)
+
+    def test_validation(self):
+        sim = _run(METAQ)
+        with pytest.raises(ValueError):
+            utilization_timeline(sim, n_bins=0)
+
+
+class TestGantt:
+    def test_renders_all_rows(self):
+        sim = _run(METAQ)
+        out = render_gantt(sim, width=40, max_nodes=4)
+        lines = out.splitlines()
+        assert len(lines) == 5  # 4 nodes + utilization footer
+        assert all("|" in ln for ln in lines)
+
+    def test_busy_marks_present(self):
+        sim = _run(METAQ)
+        out = render_gantt(sim, width=40)
+        assert "#" in out
+
+    def test_metaq_has_fewer_idle_cells_than_naive(self):
+        naive = render_gantt(_run(NaiveBundler), width=50, max_nodes=4)
+        metaq = render_gantt(_run(METAQ), width=50, max_nodes=4)
+        assert naive.count(".") > metaq.count(".")
+
+    def test_empty_sim_message(self):
+        sim = ClusterSim(2, 4, 8, rng=0)
+        assert "no completed work" in render_gantt(sim)

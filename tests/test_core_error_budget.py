@@ -1,0 +1,31 @@
+"""The g_A error-budget decomposition (Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.error_budget import ErrorBudget, measure_error_budget
+
+
+class TestErrorBudget:
+    def test_total_is_quadrature_sum(self):
+        b = ErrorBudget(
+            n_samples=100, g_a=1.27, statistical=0.03, excited_state=0.04, extrapolation=0.0
+        )
+        assert b.total == pytest.approx(0.05)
+        assert b.relative_total == pytest.approx(0.05 / 1.27)
+
+    def test_measurement_consistent_with_truth(self):
+        b = measure_error_budget(784, rng=5)
+        assert abs(b.g_a - 1.271) < 4.0 * b.total
+        assert b.statistical > 0 and b.excited_state >= 0 and b.extrapolation > 0
+
+    def test_statistics_shrink_with_samples(self):
+        small = np.mean([measure_error_budget(196, rng=s).statistical for s in range(3)])
+        large = np.mean([measure_error_budget(1568, rng=s).statistical for s in range(3)])
+        assert large < 0.7 * small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_error_budget(4)

@@ -1,0 +1,98 @@
+"""Red-black preconditioning: block identities and Schur solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import EvenOddMobius, MobiusOperator
+from repro.solvers import ConjugateGradient, solve_normal_equations
+from tests.conftest import random_fermion
+
+
+@pytest.fixture
+def mobius(gauge_tiny):
+    return MobiusOperator(gauge_tiny, ls=4, mass=0.1)
+
+
+@pytest.fixture
+def eo(mobius):
+    return EvenOddMobius(mobius)
+
+
+class TestBlockStructure:
+    def test_full_operator_is_a_plus_b(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        lhs = mobius.apply(psi)
+        rhs = eo.a_apply(psi) + eo.b_apply(psi)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_a_preserves_parity(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        even = eo.restrict(psi, 0)
+        out = eo.a_apply(even)
+        assert np.abs(eo.restrict(out, 1)).max() < 1e-14
+
+    def test_b_flips_parity(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        even = eo.restrict(psi, 0)
+        out = eo.b_apply(even)
+        assert np.abs(eo.restrict(out, 0)).max() < 1e-14
+
+    def test_a_inverse(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        np.testing.assert_allclose(eo.a_inv_apply(eo.a_apply(psi)), psi, atol=1e-11)
+        np.testing.assert_allclose(eo.a_apply(eo.a_inv_apply(psi)), psi, atol=1e-11)
+
+    def test_a_adjoint(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        phi = random_fermion(rng, mobius.field_shape)
+        lhs = np.vdot(phi, eo.a_apply(psi))
+        rhs = np.vdot(eo.a_dagger_apply(phi), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_b_adjoint(self, eo, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        phi = random_fermion(rng, mobius.field_shape)
+        lhs = np.vdot(phi, eo.b_apply(psi))
+        rhs = np.vdot(eo.b_dagger_apply(phi), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+
+class TestSchur:
+    def test_schur_adjoint(self, eo, mobius, rng):
+        xe = eo.restrict(random_fermion(rng, mobius.field_shape), 0)
+        ye = eo.restrict(random_fermion(rng, mobius.field_shape), 0)
+        lhs = np.vdot(ye, eo.schur_apply(xe))
+        rhs = np.vdot(eo.schur_dagger_apply(ye), xe)
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+    def test_true_solution_satisfies_schur_equation(self, eo, mobius, rng):
+        x_true = random_fermion(rng, mobius.field_shape)
+        b = mobius.apply(x_true)
+        rhs_e = eo.prepare_rhs(b)
+        res = eo.schur_apply(eo.restrict(x_true, 0)) - rhs_e
+        assert np.abs(res).max() < 1e-12 * np.abs(b).max()
+
+    def test_reconstruction_recovers_full_solution(self, eo, mobius, rng):
+        x_true = random_fermion(rng, mobius.field_shape)
+        b = mobius.apply(x_true)
+        x = eo.reconstruct(eo.restrict(x_true, 0), b)
+        np.testing.assert_allclose(x, x_true, atol=1e-11)
+
+    def test_preconditioned_solve_matches_unpreconditioned(self, eo, mobius, rng):
+        b = random_fermion(rng, mobius.field_shape)
+        solver = ConjugateGradient(tol=1e-10, max_iter=3000)
+        full = solve_normal_equations(mobius.apply, mobius.apply_dagger, b, solver)
+        rhs_e = eo.prepare_rhs(b)
+        pre = solve_normal_equations(eo.schur_apply, eo.schur_dagger_apply, rhs_e, solver)
+        x = eo.reconstruct(pre.x, b)
+        np.testing.assert_allclose(x, full.x, atol=1e-7)
+
+    def test_preconditioning_reduces_iterations(self, eo, mobius, rng):
+        b = random_fermion(rng, mobius.field_shape)
+        solver = ConjugateGradient(tol=1e-8, max_iter=3000)
+        full = solve_normal_equations(mobius.apply, mobius.apply_dagger, b, solver)
+        rhs_e = eo.prepare_rhs(b)
+        pre = solve_normal_equations(eo.schur_apply, eo.schur_dagger_apply, rhs_e, solver)
+        assert pre.iterations < full.iterations

@@ -1,0 +1,59 @@
+"""Red-black preconditioned Wilson operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonOperator
+from repro.dirac.evenodd_wilson import EvenOddWilson
+from repro.solvers import ConjugateGradient, solve_normal_equations
+from tests.conftest import random_fermion
+
+
+@pytest.fixture
+def ops(gauge_tiny):
+    w = WilsonOperator(gauge_tiny, mass=0.2)
+    return w, EvenOddWilson(w)
+
+
+class TestEvenOddWilson:
+    def test_true_solution_satisfies_schur_equation(self, ops, rng):
+        w, eo = ops
+        x_true = random_fermion(rng, w.geometry.dims + (4, 3))
+        b = w.apply(x_true)
+        res = eo.schur_apply(eo.restrict(x_true, 0)) - eo.prepare_rhs(b)
+        assert np.abs(res).max() < 1e-12 * np.abs(b).max()
+
+    def test_reconstruction(self, ops, rng):
+        w, eo = ops
+        x_true = random_fermion(rng, w.geometry.dims + (4, 3))
+        b = w.apply(x_true)
+        x = eo.reconstruct(eo.restrict(x_true, 0), b)
+        np.testing.assert_allclose(x, x_true, atol=1e-12)
+
+    def test_schur_adjoint(self, ops, rng):
+        w, eo = ops
+        xe = eo.restrict(random_fermion(rng, w.geometry.dims + (4, 3)), 0)
+        ye = eo.restrict(random_fermion(rng, w.geometry.dims + (4, 3)), 0)
+        lhs = np.vdot(ye, eo.schur_apply(xe))
+        rhs = np.vdot(eo.schur_dagger_apply(ye), xe)
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+    def test_preconditioned_solve_matches_full(self, ops, rng):
+        w, eo = ops
+        b = random_fermion(rng, w.geometry.dims + (4, 3))
+        solver = ConjugateGradient(tol=1e-10, max_iter=3000)
+        full = solve_normal_equations(w.apply, w.apply_dagger, b, solver)
+        pre = solve_normal_equations(
+            eo.schur_apply, eo.schur_dagger_apply, eo.prepare_rhs(b), solver
+        )
+        x = eo.reconstruct(pre.x, b)
+        np.testing.assert_allclose(x, full.x, atol=1e-7)
+        assert pre.iterations < full.iterations
+
+    def test_schur_stays_on_even_sites(self, ops, rng):
+        w, eo = ops
+        xe = eo.restrict(random_fermion(rng, w.geometry.dims + (4, 3)), 0)
+        out = eo.schur_apply(xe)
+        assert np.abs(eo.restrict(out, 1)).max() < 1e-14

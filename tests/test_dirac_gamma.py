@@ -1,0 +1,90 @@
+"""Gamma-matrix algebra in the DeGrand-Rossi basis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dirac import gamma as g
+
+
+class TestCliffordAlgebra:
+    @pytest.mark.parametrize("mu", range(4))
+    @pytest.mark.parametrize("nu", range(4))
+    def test_anticommutator(self, mu, nu):
+        anti = g.GAMMA[mu] @ g.GAMMA[nu] + g.GAMMA[nu] @ g.GAMMA[mu]
+        np.testing.assert_allclose(anti, 2.0 * np.eye(4) * (mu == nu), atol=1e-14)
+
+    @pytest.mark.parametrize("mu", range(4))
+    def test_hermitian(self, mu):
+        np.testing.assert_allclose(g.GAMMA[mu], g.GAMMA[mu].conj().T, atol=1e-14)
+
+    @pytest.mark.parametrize("mu", range(4))
+    def test_gamma5_anticommutes(self, mu):
+        anti = g.GAMMA5 @ g.GAMMA[mu] + g.GAMMA[mu] @ g.GAMMA5
+        np.testing.assert_allclose(anti, 0.0, atol=1e-14)
+
+    def test_gamma5_is_product(self):
+        prod = g.GAMMA[0] @ g.GAMMA[1] @ g.GAMMA[2] @ g.GAMMA[3]
+        np.testing.assert_allclose(prod, g.GAMMA5, atol=1e-12)
+
+    def test_gamma5_chiral_diagonal(self):
+        np.testing.assert_allclose(np.diag(g.GAMMA5).real, [1, 1, -1, -1])
+        np.testing.assert_allclose(g.GAMMA5, np.diag(np.diag(g.GAMMA5)), atol=1e-14)
+
+
+class TestProjectors:
+    def test_idempotent(self):
+        np.testing.assert_allclose(g.P_PLUS @ g.P_PLUS, g.P_PLUS, atol=1e-14)
+        np.testing.assert_allclose(g.P_MINUS @ g.P_MINUS, g.P_MINUS, atol=1e-14)
+
+    def test_orthogonal(self):
+        np.testing.assert_allclose(g.P_PLUS @ g.P_MINUS, 0.0, atol=1e-14)
+
+    def test_complete(self):
+        np.testing.assert_allclose(g.P_PLUS + g.P_MINUS, np.eye(4), atol=1e-14)
+
+    def test_proj_functions_match_matrices(self):
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=(2, 2, 4, 3)) + 1j * rng.normal(size=(2, 2, 4, 3))
+        np.testing.assert_allclose(g.proj_plus(psi), g.spin_mul(g.P_PLUS, psi), atol=1e-14)
+        np.testing.assert_allclose(g.proj_minus(psi), g.spin_mul(g.P_MINUS, psi), atol=1e-14)
+
+
+class TestSpinMul:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_composition(self, seed):
+        rng = np.random.default_rng(seed)
+        psi = rng.normal(size=(3, 4, 3)) + 1j * rng.normal(size=(3, 4, 3))
+        a, b = g.GAMMA[0], g.GAMMA[2]
+        lhs = g.spin_mul(a, g.spin_mul(b, psi))
+        rhs = g.spin_mul(a @ b, psi)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_identity(self):
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=(2, 4, 3))
+        np.testing.assert_allclose(g.spin_mul(g.IDENTITY, psi), psi)
+
+
+class TestSpecialMatrices:
+    def test_axial_antihermitian(self):
+        """(gamma_3 gamma_5)^H = -gamma_3 gamma_5 in Euclidean space."""
+        np.testing.assert_allclose(
+            g.AXIAL_GAMMA3.conj().T, -g.AXIAL_GAMMA3, atol=1e-14
+        )
+
+    def test_axial_squares_to_minus_one(self):
+        np.testing.assert_allclose(
+            g.AXIAL_GAMMA3 @ g.AXIAL_GAMMA3, -np.eye(4), atol=1e-14
+        )
+
+    def test_charge_conjugation_antisymmetric(self):
+        np.testing.assert_allclose(g.CHARGE_CONJ.T, -g.CHARGE_CONJ, atol=1e-14)
+
+    def test_matrices_readonly(self):
+        with pytest.raises(ValueError):
+            g.GAMMA5[0, 0] = 2.0

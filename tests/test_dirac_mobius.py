@@ -1,0 +1,112 @@
+"""Mobius domain-wall operator: adjoints, hermiticity, limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import MobiusOperator, WilsonOperator
+from repro.dirac import gamma as g
+from tests.conftest import random_fermion
+
+
+@pytest.fixture
+def mobius(gauge_tiny):
+    return MobiusOperator(gauge_tiny, ls=4, mass=0.1)
+
+
+@pytest.fixture
+def shamir(gauge_tiny):
+    return MobiusOperator(gauge_tiny, ls=4, mass=0.1, b5=1.0, c5=0.0)
+
+
+class TestConstruction:
+    def test_field_shape(self, mobius):
+        assert mobius.field_shape == (4, 2, 2, 2, 4, 4, 3)
+        assert mobius.n_5d_sites == 4 * 32
+
+    def test_bad_ls(self, gauge_tiny):
+        with pytest.raises(ValueError):
+            MobiusOperator(gauge_tiny, ls=1, mass=0.1)
+
+    def test_bad_m5(self, gauge_tiny):
+        with pytest.raises(ValueError):
+            MobiusOperator(gauge_tiny, ls=4, mass=0.1, m5=2.5)
+
+    def test_wilson_kernel_mass(self, mobius):
+        assert mobius.wilson.mass == pytest.approx(-1.8)
+
+    def test_shape_check(self, mobius):
+        with pytest.raises(ValueError):
+            mobius.apply(np.zeros((3, 2, 2, 2, 4, 4, 3), dtype=complex))
+
+
+class TestFifthDimension:
+    def test_hop5_mass_boundary(self, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        out = mobius.hop5(psi)
+        # chirality-minus part of s=Ls-1 sees -m * psi(0)
+        expected_top = g.proj_minus(-mobius.mass * psi[0]) + g.proj_plus(psi[-2])
+        np.testing.assert_allclose(out[-1], expected_top, atol=1e-13)
+        expected_bottom = g.proj_minus(psi[1]) + g.proj_plus(-mobius.mass * psi[-1])
+        np.testing.assert_allclose(out[0], expected_bottom, atol=1e-13)
+
+    def test_hop5_adjoint(self, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        phi = random_fermion(rng, mobius.field_shape)
+        lhs = np.vdot(phi, mobius.hop5(psi))
+        rhs = np.vdot(mobius.hop5_dagger(phi), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_d5_decomposition(self, mobius, rng):
+        """D psi == D_W(D5+ psi) + D5- psi, the Mobius split."""
+        psi = random_fermion(rng, mobius.field_shape)
+        lhs = mobius.apply(psi)
+        rhs = mobius.wilson.apply(mobius.d5_plus(psi)) + mobius.d5_minus(psi)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+
+class TestAdjoint:
+    @pytest.mark.parametrize("b5,c5", [(1.5, 0.5), (1.0, 0.0), (2.0, 1.0)])
+    def test_adjoint_consistency(self, gauge_tiny, rng, b5, c5):
+        op = MobiusOperator(gauge_tiny, ls=4, mass=0.08, b5=b5, c5=c5)
+        psi = random_fermion(rng, op.field_shape)
+        phi = random_fermion(rng, op.field_shape)
+        lhs = np.vdot(phi, op.apply(psi))
+        rhs = np.vdot(op.apply_dagger(phi), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+    def test_shamir_reflection_hermiticity(self, shamir, rng):
+        """D^H = (gamma_5 R) D (gamma_5 R) holds in the Shamir limit."""
+        psi = random_fermion(rng, shamir.field_shape)
+        lhs = shamir.apply_dagger(psi)
+        rhs = shamir.reflect(shamir.apply(shamir.reflect(psi)))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+    def test_reflection_is_involution(self, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        np.testing.assert_allclose(mobius.reflect(mobius.reflect(psi)), psi)
+
+    def test_normal_operator_positive(self, mobius, rng):
+        psi = random_fermion(rng, mobius.field_shape)
+        val = np.vdot(psi, mobius.apply_normal(psi))
+        assert val.real > 0.0
+        assert abs(val.imag) < 1e-9 * val.real
+
+
+class TestLimits:
+    def test_heavy_mass_decouples_boundaries(self, gauge_tiny, rng):
+        """At m = 1 (PV mass) the operator is gapped: smallest singular
+        value well away from zero compared to a light mass."""
+        light = MobiusOperator(gauge_tiny, ls=4, mass=0.01)
+        heavy = MobiusOperator(gauge_tiny, ls=4, mass=1.0)
+        psi = random_fermion(rng, light.field_shape)
+        psi /= np.linalg.norm(psi.ravel())
+        # Rayleigh quotient of D^H D as a crude gap probe
+        rq_light = np.vdot(psi, light.apply_normal(psi)).real
+        rq_heavy = np.vdot(psi, heavy.apply_normal(psi)).real
+        assert rq_heavy > 0 and rq_light > 0
+
+    def test_flops_model_in_paper_band(self, mobius):
+        per_site = mobius.flops_per_normal_apply() / mobius.n_5d_sites
+        assert 9500.0 <= per_site <= 12500.0

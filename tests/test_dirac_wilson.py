@@ -1,0 +1,108 @@
+"""Wilson Dirac operator: adjoints, parity structure, free-field limits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonOperator
+from repro.dirac import gamma as g
+from repro.lattice import GaugeField, Geometry
+from repro.lattice.su3 import random_su3
+from tests.conftest import random_fermion
+
+
+@pytest.fixture
+def wilson(gauge_tiny):
+    return WilsonOperator(gauge_tiny, mass=0.2)
+
+
+class TestAdjoint:
+    def test_adjoint_consistency(self, wilson, rng):
+        shape = wilson.geometry.dims + (4, 3)
+        psi = random_fermion(rng, shape)
+        phi = random_fermion(rng, shape)
+        lhs = np.vdot(phi, wilson.apply(psi))
+        rhs = np.vdot(wilson.apply_dagger(phi), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_gamma5_hermiticity(self, wilson, rng):
+        """D^H == gamma_5 D gamma_5 applied to a random vector."""
+        shape = wilson.geometry.dims + (4, 3)
+        psi = random_fermion(rng, shape)
+        lhs = wilson.apply_dagger(psi)
+        rhs = g.spin_mul(g.GAMMA5, wilson.apply(g.spin_mul(g.GAMMA5, psi)))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_normal_operator_positive(self, wilson, rng):
+        shape = wilson.geometry.dims + (4, 3)
+        psi = random_fermion(rng, shape)
+        val = np.vdot(psi, wilson.apply_normal(psi))
+        assert val.real > 0.0
+        assert abs(val.imag) < 1e-9 * abs(val.real)
+
+
+class TestStructure:
+    def test_hopping_flips_parity(self, wilson, rng):
+        geom = wilson.geometry
+        psi = random_fermion(rng, geom.dims + (4, 3))
+        psi[geom.parity_mask(1)] = 0.0  # even-only input
+        out = wilson.hopping(psi)
+        assert np.abs(out[geom.parity_mask(0)]).max() < 1e-14
+        assert np.abs(out[geom.parity_mask(1)]).max() > 0.0
+
+    def test_diagonal_is_mass_term(self, gauge_tiny, rng):
+        w = WilsonOperator(gauge_tiny, mass=0.37)
+        psi = random_fermion(rng, gauge_tiny.geometry.dims + (4, 3))
+        diag = w.apply(psi) - w.hopping(psi)
+        np.testing.assert_allclose(diag, (0.37 + 4.0) * psi, atol=1e-13)
+
+    def test_linearity(self, wilson, rng):
+        shape = wilson.geometry.dims + (4, 3)
+        a, b = random_fermion(rng, shape), random_fermion(rng, shape)
+        lhs = wilson.apply(2.0 * a - 1j * b)
+        rhs = 2.0 * wilson.apply(a) - 1j * wilson.apply(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_leading_axes_supported(self, wilson, rng):
+        """A stack of fields maps to the stack of mapped fields."""
+        shape = (3,) + wilson.geometry.dims + (4, 3)
+        psi = random_fermion(rng, shape)
+        out = wilson.apply(psi)
+        for i in range(3):
+            np.testing.assert_allclose(out[i], wilson.apply(psi[i]), atol=1e-13)
+
+    def test_shape_mismatch_rejected(self, wilson):
+        with pytest.raises(ValueError):
+            wilson.apply(np.zeros((2, 2, 2, 2, 4, 3), dtype=complex))
+
+
+class TestGaugeCovariance:
+    def test_covariant_under_gauge_transform(self, gauge_tiny, rng):
+        """g(x) D[U] psi == D[U^g] (g psi)."""
+        geom = gauge_tiny.geometry
+        gt = random_su3(rng, geom.dims)
+        psi = random_fermion(rng, geom.dims + (4, 3))
+        w = WilsonOperator(gauge_tiny, mass=0.2)
+        w_g = WilsonOperator(gauge_tiny.gauge_transform(gt), mass=0.2)
+        rotate = lambda f: np.einsum("xyztab,xyztsb->xyztsa", gt, f)
+        lhs = rotate(w.apply(psi))
+        rhs = w_g.apply(rotate(psi))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+
+class TestFreeField:
+    def test_constant_mode_eigenvalue(self, geom_tiny):
+        """On a cold field with periodic BCs, a constant spinor is an
+        eigenvector: the hopping term sums to -gamma-symmetric = -4."""
+        gauge = GaugeField.cold(geom_tiny)
+        w = WilsonOperator(gauge, mass=0.25, antiperiodic_t=False)
+        psi = np.ones(geom_tiny.dims + (4, 3), dtype=complex)
+        out = w.apply(psi)
+        np.testing.assert_allclose(out, 0.25 * psi, atol=1e-12)
+
+    def test_flops_accounting(self, wilson):
+        shape = wilson.geometry.dims + (4, 3)
+        per_site = 1320
+        assert wilson.flops_per_apply(shape) == wilson.geometry.volume * per_site
+        assert wilson.flops_per_apply((8,) + shape) == 8 * wilson.geometry.volume * per_site

@@ -1,0 +1,109 @@
+"""Two-flavor dynamical HMC: force exactness, reversibility, acceptance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hmc import TwoFlavorWilsonHMC
+from repro.lattice import GaugeField, Geometry
+from repro.lattice.su3 import random_algebra, su3_expm
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    geom = Geometry(2, 2, 2, 4)
+    gauge = GaugeField.random(geom, make_rng(1), scale=0.3)
+    hmc = TwoFlavorWilsonHMC(beta=5.5, mass=0.5, n_steps=12, rng=make_rng(2))
+    phi = hmc.sample_pseudofermion(gauge)
+    return geom, gauge, hmc, phi
+
+
+class TestFermionForce:
+    def test_matches_finite_difference(self, setup):
+        """The decisive check: tr(Q G) equals dS_pf/dtau numerically at
+        several random links and directions."""
+        geom, gauge, hmc, phi = setup
+        g_force = hmc.fermion_force_g(gauge, phi)
+        rng = make_rng(3)
+        eps = 1e-5
+        for trial in range(3):
+            mu = int(rng.integers(0, 4))
+            xs = tuple(int(rng.integers(0, d)) for d in geom.dims)
+            q = random_algebra(rng, (), scale=1.0)
+
+            def action(tau):
+                gp = gauge.copy()
+                gp.u[(mu,) + xs] = su3_expm(tau * q) @ gp.u[(mu,) + xs]
+                return hmc.pseudofermion_action(gp, phi)
+
+            fd = (action(eps) - action(-eps)) / (2 * eps)
+            analytic = np.trace(q @ g_force[(mu,) + xs]).real
+            assert analytic == pytest.approx(fd, rel=1e-5)
+
+    def test_force_is_traceless_antihermitian(self, setup):
+        geom, gauge, hmc, phi = setup
+        f = hmc.fermion_force_g(gauge, phi)
+        np.testing.assert_allclose(
+            f, -np.conjugate(np.swapaxes(f, -1, -2)), atol=1e-12
+        )
+        assert np.abs(np.trace(f, axis1=-2, axis2=-1)).max() < 1e-12
+
+    def test_pseudofermion_action_positive(self, setup):
+        geom, gauge, hmc, phi = setup
+        assert hmc.pseudofermion_action(gauge, phi) > 0.0
+
+    def test_pseudofermion_heatbath_mean(self, setup):
+        """<S_pf> at sampling equals the Gaussian dof count: |eta|^2 with
+        eta ~ CN(0,1) per component averages to 12 V."""
+        geom, gauge, hmc, _ = setup
+        vals = []
+        for _ in range(20):
+            p = hmc.sample_pseudofermion(gauge)
+            vals.append(hmc.pseudofermion_action(gauge, p))
+        dof = 12 * geom.volume
+        assert np.mean(vals) == pytest.approx(dof, rel=0.15)
+
+
+class TestDynamics:
+    def test_leapfrog_reversible(self, setup):
+        geom, gauge, hmc, phi = setup
+        mom = hmc._gauge_part.sample_momenta(gauge)
+        g1, p1 = hmc.leapfrog(gauge, mom, phi)
+        g2, p2 = hmc.leapfrog(g1, -p1, phi)
+        np.testing.assert_allclose(g2.u, gauge.u, atol=1e-8)
+        np.testing.assert_allclose(-p2, mom, atol=1e-8)
+
+    def test_energy_violation_shrinks_with_dt(self, setup):
+        geom, gauge, hmc, phi = setup
+        mom = hmc._gauge_part.sample_momenta(gauge)
+        h0 = hmc.hamiltonian(gauge, mom, phi)
+        dhs = []
+        for n_steps in (10, 20):
+            h = TwoFlavorWilsonHMC(beta=5.5, mass=0.5, n_steps=n_steps, rng=make_rng(4))
+            g1, p1 = h.leapfrog(gauge, mom, phi)
+            dhs.append(abs(h.hamiltonian(g1, p1, phi) - h0))
+        assert dhs[1] < dhs[0] / 2.2  # ~dt^2
+
+    def test_trajectories_accept_and_evolve(self):
+        geom = Geometry(2, 2, 2, 4)
+        gauge = GaugeField.random(geom, make_rng(5), scale=0.3)
+        hmc = TwoFlavorWilsonHMC(beta=5.5, mass=0.5, n_steps=14, rng=make_rng(6))
+        results = hmc.run(gauge, 5)
+        assert sum(r.accepted for r in results) >= 3
+        assert all(r.cg_iterations > 0 for r in results)
+        assert gauge.unitarity_violation() < 1e-10
+
+    def test_nonconverging_solver_raises(self):
+        geom = Geometry(2, 2, 2, 4)
+        gauge = GaugeField.random(geom, make_rng(7), scale=0.3)
+        hmc = TwoFlavorWilsonHMC(
+            beta=5.5, mass=0.5, n_steps=10, max_cg_iter=1, rng=make_rng(8)
+        )
+        with pytest.raises(RuntimeError):
+            hmc.pseudofermion_action(gauge, hmc.sample_pseudofermion(gauge))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoFlavorWilsonHMC(beta=5.0, mass=0.5, n_steps=0)

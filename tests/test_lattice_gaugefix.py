@@ -1,0 +1,70 @@
+"""Gauge fixing: convergence, monotonicity, invariance of observables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import GaugeField, GaugeFixer, Geometry
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def weak_gauge():
+    geom = Geometry(4, 4, 4, 4)
+    return GaugeField.random(geom, make_rng(9), scale=0.3)
+
+
+class TestGaugeFixer:
+    def test_coulomb_converges(self, weak_gauge):
+        fx = GaugeFixer(gauge_type="coulomb", tol=1e-6, max_iter=500)
+        res = fx.fix(weak_gauge)
+        assert res.converged
+        assert res.residual < 1e-6
+
+    def test_landau_converges(self, weak_gauge):
+        fx = GaugeFixer(gauge_type="landau", tol=1e-6, max_iter=800)
+        res = fx.fix(weak_gauge)
+        assert res.converged
+
+    def test_functional_increases(self, weak_gauge):
+        fx = GaugeFixer(gauge_type="coulomb", tol=1e-10, max_iter=3)
+        f0 = fx.functional(weak_gauge)
+        fx.fix(weak_gauge)
+        assert fx.functional(weak_gauge) > f0
+
+    def test_sweep_monotone(self, weak_gauge):
+        fx = GaugeFixer(gauge_type="coulomb", overrelax=1.0)
+        vals = [fx.functional(weak_gauge)]
+        for _ in range(5):
+            fx._sweep(weak_gauge)
+            vals.append(fx.functional(weak_gauge))
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_plaquette_invariant(self, weak_gauge):
+        plaq0 = weak_gauge.plaquette()
+        GaugeFixer(gauge_type="coulomb", tol=1e-6, max_iter=300).fix(weak_gauge)
+        assert weak_gauge.plaquette() == pytest.approx(plaq0, abs=1e-10)
+
+    def test_links_stay_su3(self, weak_gauge):
+        GaugeFixer(gauge_type="coulomb", tol=1e-6, max_iter=300).fix(weak_gauge)
+        assert weak_gauge.unitarity_violation() < 1e-10
+
+    def test_cold_field_already_fixed(self):
+        gauge = GaugeField.cold(Geometry(2, 2, 2, 4))
+        fx = GaugeFixer(gauge_type="landau", tol=1e-10, max_iter=10)
+        res = fx.fix(gauge)
+        assert res.converged
+        assert res.functional == pytest.approx(1.0)
+
+    def test_coulomb_leaves_time_links_free(self, weak_gauge):
+        """Coulomb gauge only enters spatial links in the functional."""
+        fx = GaugeFixer(gauge_type="coulomb")
+        assert fx.directions == (0, 1, 2)
+        assert GaugeFixer(gauge_type="landau").directions == (0, 1, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaugeFixer(gauge_type="axial")
+        with pytest.raises(ValueError):
+            GaugeFixer(overrelax=2.5)

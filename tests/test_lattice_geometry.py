@@ -1,0 +1,105 @@
+"""Geometry: shapes, shifts, parities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import Geometry
+
+even_extent = st.sampled_from([2, 4, 6, 8])
+
+
+class TestConstruction:
+    def test_volume(self):
+        g = Geometry(2, 4, 6, 8)
+        assert g.volume == 2 * 4 * 6 * 8
+        assert g.spatial_volume == 2 * 4 * 6
+        assert g.half_volume * 2 == g.volume
+
+    def test_odd_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Geometry(3, 4, 4, 4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Geometry(0, 4, 4, 4)
+
+    def test_from_shape(self):
+        assert Geometry.from_shape((2, 2, 2, 4)).dims == (2, 2, 2, 4)
+
+
+class TestParity:
+    def test_checkerboard_tiles_exactly(self):
+        g = Geometry(4, 4, 4, 4)
+        assert int(g.parity_mask(0).sum()) == g.half_volume
+        assert int(g.parity_mask(1).sum()) == g.half_volume
+
+    def test_neighbours_have_opposite_parity(self):
+        g = Geometry(4, 4, 4, 4)
+        p = g.parity.astype(int)
+        for mu in range(4):
+            shifted = np.roll(p, -1, axis=mu)
+            assert np.all(p != shifted)
+
+    def test_bad_parity_rejected(self):
+        with pytest.raises(ValueError):
+            Geometry(2, 2, 2, 2).parity_mask(2)
+
+    def test_parity_readonly(self):
+        g = Geometry(2, 2, 2, 2)
+        with pytest.raises(ValueError):
+            g.parity[0, 0, 0, 0] = 5
+
+
+class TestShift:
+    @given(mu=st.integers(0, 3), sign=st.sampled_from([1, -1]))
+    @settings(max_examples=16, deadline=None)
+    def test_shift_roundtrip(self, mu, sign):
+        g = Geometry(2, 4, 2, 4)
+        field = np.arange(g.volume, dtype=float).reshape(g.dims)
+        back = g.shift(g.shift(field, mu, sign), mu, -sign)
+        np.testing.assert_array_equal(back, field)
+
+    def test_shift_semantics(self):
+        g = Geometry(4, 2, 2, 2)
+        field = g.coordinate(0).astype(float)
+        fwd = g.shift(field, 0, +1)
+        # entry at x holds field[x+1] (periodic)
+        assert fwd[0, 0, 0, 0] == 1.0
+        assert fwd[3, 0, 0, 0] == 0.0
+
+    def test_bad_mu(self):
+        g = Geometry(2, 2, 2, 2)
+        with pytest.raises(ValueError):
+            g.shift(np.zeros(g.dims), 4, 1)
+
+    def test_bad_sign(self):
+        g = Geometry(2, 2, 2, 2)
+        with pytest.raises(ValueError):
+            g.shift(np.zeros(g.dims), 0, 2)
+
+    def test_shape_mismatch(self):
+        g = Geometry(2, 2, 2, 2)
+        with pytest.raises(ValueError):
+            g.shift(np.zeros((4, 4, 4, 4)), 0, 1)
+
+
+class TestAllocation:
+    def test_site_field_shape_dtype(self):
+        g = Geometry(2, 2, 2, 4)
+        f = g.site_field((4, 3))
+        assert f.shape == (2, 2, 2, 4, 4, 3)
+        assert f.dtype == np.complex128
+
+    def test_coordinate(self):
+        g = Geometry(2, 2, 2, 4)
+        t = g.coordinate(3)
+        assert t.shape == g.dims
+        assert t[0, 0, 0, 3] == 3
+
+    def test_coordinate_bad_axis(self):
+        with pytest.raises(ValueError):
+            Geometry(2, 2, 2, 2).coordinate(5)

@@ -1,0 +1,145 @@
+"""Wilson loops, static potential and topological charge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater
+from repro.lattice.su3 import random_su3
+from repro.lattice.topology import (
+    clover_field_strength,
+    energy_density_clover,
+    topological_charge,
+)
+from repro.lattice.wilsonloops import creutz_ratio, static_potential, wilson_loop
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    geom = Geometry(6, 6, 6, 6)
+    g = GaugeField.hot(geom, make_rng(1))
+    HeatbathUpdater(beta=5.7, rng=make_rng(2)).thermalize(g, 10)
+    return geom, g
+
+
+class TestWilsonLoops:
+    def test_cold_loops_are_one(self):
+        cold = GaugeField.cold(Geometry(4, 4, 4, 4))
+        assert wilson_loop(cold, 2, 2) == pytest.approx(1.0)
+        assert wilson_loop(cold, 1, 3) == pytest.approx(1.0)
+
+    def test_unit_loop_is_plane_plaquette(self, thermal):
+        """W(1,1) in the x-t plane equals the x-t plaquette average."""
+        geom, g = thermal
+        p = g.plaquette_field(0, 3)
+        plane = float(np.trace(p, axis1=-2, axis2=-1).real.mean() / 3.0)
+        assert wilson_loop(g, 1, 1) == pytest.approx(plane, rel=1e-10)
+
+    def test_area_law_ordering(self, thermal):
+        """Bigger area, smaller loop — confinement at strong coupling."""
+        geom, g = thermal
+        assert wilson_loop(g, 1, 1) > wilson_loop(g, 2, 1) > wilson_loop(g, 2, 2) > 0
+
+    def test_gauge_invariance(self, thermal):
+        geom, g = thermal
+        gt = random_su3(make_rng(3), geom.dims)
+        before = wilson_loop(g, 2, 2)
+        after = wilson_loop(g.gauge_transform(gt), 2, 2)
+        assert after == pytest.approx(before, rel=1e-10)
+
+    def test_plane_symmetry_on_average(self, thermal):
+        """Different spatial directions give statistically similar loops
+        (exactly equal only after ensemble averaging; same config within
+        a loose band)."""
+        geom, g = thermal
+        wx = wilson_loop(g, 2, 2, spatial_mu=0)
+        wy = wilson_loop(g, 2, 2, spatial_mu=1)
+        assert wy == pytest.approx(wx, abs=0.15)
+
+    def test_validation(self, thermal):
+        geom, g = thermal
+        with pytest.raises(ValueError):
+            wilson_loop(g, 0, 2)
+        with pytest.raises(ValueError):
+            wilson_loop(g, 2, 6)  # wraps the lattice
+        with pytest.raises(ValueError):
+            wilson_loop(g, 2, 2, spatial_mu=3, temporal_mu=3)
+
+
+class TestPotential:
+    def test_potential_grows_with_distance(self, thermal):
+        geom, g = thermal
+        v1 = static_potential(g, 1, 2)
+        v2 = static_potential(g, 2, 2)
+        assert np.isfinite(v1) and np.isfinite(v2)
+        assert v2 > v1 > 0
+
+    def test_creutz_ratio_positive_at_strong_coupling(self, thermal):
+        geom, g = thermal
+        chi = creutz_ratio(g, 2, 2)
+        assert np.isfinite(chi) and chi > 0
+
+    def test_creutz_strong_coupling_estimate(self, thermal):
+        """chi(2,2) ~ -log(plaquette-plane W ratio): at beta 5.7 on this
+        volume the string-tension estimate is O(0.3-0.8)."""
+        geom, g = thermal
+        assert 0.1 < creutz_ratio(g, 2, 2) < 1.5
+
+    def test_validation(self, thermal):
+        geom, g = thermal
+        with pytest.raises(ValueError):
+            creutz_ratio(g, 1, 2)
+
+
+class TestTopology:
+    def test_cold_charge_zero(self):
+        cold = GaugeField.cold(Geometry(4, 4, 4, 4))
+        assert topological_charge(cold) == pytest.approx(0.0, abs=1e-12)
+        assert energy_density_clover(cold) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gauge_invariant(self, thermal):
+        geom, g = thermal
+        gt = random_su3(make_rng(4), geom.dims)
+        q1 = topological_charge(g)
+        q2 = topological_charge(g.gauge_transform(gt))
+        assert q2 == pytest.approx(q1, abs=1e-10)
+
+    def test_field_strength_antisymmetric(self, thermal):
+        geom, g = thermal
+        f01 = clover_field_strength(g, 0, 1)
+        f10 = clover_field_strength(g, 1, 0)
+        np.testing.assert_allclose(f01, -f10, atol=1e-13)
+
+    def test_field_strength_traceless_antihermitian(self, thermal):
+        geom, g = thermal
+        f = clover_field_strength(g, 1, 3)
+        np.testing.assert_allclose(f, -np.conjugate(np.swapaxes(f, -1, -2)), atol=1e-13)
+        assert np.abs(np.trace(f, axis1=-2, axis2=-1)).max() < 1e-13
+
+    def test_energy_density_positive_on_rough_field(self, thermal):
+        geom, g = thermal
+        assert energy_density_clover(g) > 0
+
+    def test_charge_odd_under_orientation_reversal(self, thermal):
+        """Swapping two axes (x <-> y) reverses the orientation of the
+        4D volume and flips the sign of the epsilon contraction: Q -> -Q
+        exactly, configuration by configuration."""
+        geom, g = thermal
+        swapped_u = np.empty_like(g.u)
+        swapped_u[0] = np.swapaxes(g.u[1], 0, 1)
+        swapped_u[1] = np.swapaxes(g.u[0], 0, 1)
+        swapped_u[2] = np.swapaxes(g.u[2], 0, 1)
+        swapped_u[3] = np.swapaxes(g.u[3], 0, 1)
+        swapped = GaugeField(geom, swapped_u)
+        q1 = topological_charge(g)
+        q2 = topological_charge(swapped)
+        assert q2 == pytest.approx(-q1, rel=1e-8)
+        # and the (parity-even) plaquette is untouched
+        assert swapped.plaquette() == pytest.approx(g.plaquette(), rel=1e-12)
+
+    def test_requires_distinct_plane(self, thermal):
+        geom, g = thermal
+        with pytest.raises(ValueError):
+            clover_field_strength(g, 2, 2)

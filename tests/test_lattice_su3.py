@@ -1,0 +1,102 @@
+"""SU(3) group algebra: unitarity, determinants, projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import su3
+from repro.utils.rng import make_rng
+
+seeds = st.integers(0, 10_000)
+
+
+def _rand_mats(seed: int, n: int = 5, scale: float = 1.0) -> np.ndarray:
+    return su3.random_su3(make_rng(seed), (n,), scale=scale)
+
+
+class TestRandomSU3:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_unitary(self, seed):
+        u = _rand_mats(seed)
+        eye = np.eye(3)
+        assert np.allclose(su3.dagger(u) @ u, eye[None], atol=1e-12)
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_unit_determinant(self, seed):
+        u = _rand_mats(seed)
+        assert np.allclose(np.linalg.det(u), 1.0, atol=1e-12)
+
+    def test_scale_controls_spread(self):
+        near = _rand_mats(1, n=50, scale=0.01)
+        far = _rand_mats(1, n=50, scale=1.0)
+        d_near = np.abs(near - np.eye(3)).max()
+        d_far = np.abs(far - np.eye(3)).max()
+        assert d_near < 0.1 < d_far
+
+
+class TestAlgebra:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_random_algebra_traceless_antihermitian(self, seed):
+        h = su3.random_algebra(make_rng(seed), (4,))
+        assert np.allclose(np.trace(h, axis1=-2, axis2=-1), 0.0, atol=1e-13)
+        assert np.allclose(h, -su3.dagger(h), atol=1e-13)
+
+    def test_projection_idempotent(self):
+        rng = make_rng(2)
+        m = rng.normal(size=(6, 3, 3)) + 1j * rng.normal(size=(6, 3, 3))
+        p1 = su3.project_traceless_antihermitian(m)
+        p2 = su3.project_traceless_antihermitian(p1)
+        np.testing.assert_allclose(p1, p2, atol=1e-13)
+
+    def test_expm_of_zero_is_identity(self):
+        out = su3.su3_expm(np.zeros((2, 3, 3), dtype=complex))
+        assert np.allclose(out, np.eye(3)[None], atol=1e-14)
+
+    def test_expm_inverse_is_exp_of_negative(self):
+        h = su3.random_algebra(make_rng(3), (4,))
+        u = su3.su3_expm(h)
+        uinv = su3.su3_expm(-h)
+        assert np.allclose(u @ uinv, np.eye(3)[None], atol=1e-12)
+
+
+class TestProjectSU3:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_projection_lands_in_su3(self, seed):
+        rng = make_rng(seed)
+        m = rng.normal(size=(4, 3, 3)) + 1j * rng.normal(size=(4, 3, 3))
+        u = su3.project_su3(m)
+        assert su3.unitarity_violation(u) < 1e-12
+        assert np.allclose(np.linalg.det(u), 1.0, atol=1e-12)
+
+    def test_projection_fixes_su3_elements(self):
+        u = _rand_mats(4)
+        p = su3.project_su3(u)
+        # An SU(3) matrix is its own nearest unitary.
+        np.testing.assert_allclose(p, u, atol=1e-10)
+
+    def test_projection_repairs_roundoff(self):
+        u = _rand_mats(5)
+        drifted = u * (1.0 + 1e-5)
+        assert su3.unitarity_violation(drifted) > 1e-6
+        assert su3.unitarity_violation(su3.project_su3(drifted)) < 1e-12
+
+
+class TestHelpers:
+    def test_identity_links(self):
+        out = su3.identity_links((2, 3))
+        assert out.shape == (2, 3, 3, 3)
+        assert np.allclose(out[1, 2], np.eye(3))
+
+    def test_dagger_involution(self):
+        u = _rand_mats(6)
+        np.testing.assert_allclose(su3.dagger(su3.dagger(u)), u)
+
+    def test_unitarity_violation_zero_for_identity(self):
+        assert su3.unitarity_violation(su3.identity_links((3,))) == pytest.approx(0.0)

@@ -1,0 +1,157 @@
+"""Gauge-field generation: heatbath thermalization and HMC exactness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import GaugeField, Geometry, HeatbathUpdater, PureGaugeHMC
+from repro.lattice.heatbath import _kennedy_pendleton, _quat_mul, _quat_conj, _quat_to_su2
+from repro.utils.rng import make_rng
+
+
+class TestKennedyPendleton:
+    def test_range(self):
+        rng = make_rng(0)
+        a0 = _kennedy_pendleton(np.full(500, 2.0), rng)
+        assert np.all(a0 <= 1.0) and np.all(a0 >= -1.0)
+
+    def test_large_alpha_concentrates_near_one(self):
+        rng = make_rng(1)
+        a0 = _kennedy_pendleton(np.full(500, 50.0), rng)
+        assert a0.mean() > 0.9
+
+    def test_small_alpha_broad(self):
+        rng = make_rng(2)
+        a0 = _kennedy_pendleton(np.full(2000, 0.05), rng)
+        # Near-flat sqrt(1-a0^2) measure has mean ~0.
+        assert abs(a0.mean()) < 0.15
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            _kennedy_pendleton(np.array([-1.0]), make_rng(0))
+
+    def test_distribution_moment(self):
+        """E[a0] under sqrt(1-a0^2) e^{alpha a0} matches numerics."""
+        alpha = 4.0
+        rng = make_rng(3)
+        a0 = _kennedy_pendleton(np.full(40_000, alpha), rng)
+        grid = np.linspace(-1, 1, 20_001)
+        w = np.sqrt(1 - grid**2) * np.exp(alpha * grid)
+        expected = (grid * w).sum() / w.sum()
+        assert a0.mean() == pytest.approx(expected, abs=0.01)
+
+
+class TestQuaternions:
+    def test_mul_matches_matrix_product(self):
+        rng = make_rng(4)
+        q1 = rng.normal(size=(6, 4))
+        q2 = rng.normal(size=(6, 4))
+        q1 /= np.linalg.norm(q1, axis=-1, keepdims=True)
+        q2 /= np.linalg.norm(q2, axis=-1, keepdims=True)
+        lhs = _quat_to_su2(_quat_mul(q1, q2))
+        rhs = _quat_to_su2(q1) @ _quat_to_su2(q2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_conj_is_dagger(self):
+        rng = make_rng(5)
+        q = rng.normal(size=(6, 4))
+        q /= np.linalg.norm(q, axis=-1, keepdims=True)
+        lhs = _quat_to_su2(_quat_conj(q))
+        rhs = np.conjugate(np.swapaxes(_quat_to_su2(q), -1, -2))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-13)
+
+
+class TestHeatbath:
+    def test_links_stay_su3(self, geom_small):
+        g = GaugeField.hot(geom_small, make_rng(7))
+        hb = HeatbathUpdater(beta=5.7, rng=make_rng(8))
+        hb.sweep(g)
+        assert g.unitarity_violation() < 1e-10
+
+    def test_thermalizes_from_both_starts(self, geom_small):
+        """Hot and cold starts converge to the same plaquette."""
+        beta = 5.9
+        hot = GaugeField.hot(geom_small, make_rng(9))
+        cold = GaugeField.cold(geom_small)
+        hb1 = HeatbathUpdater(beta=beta, rng=make_rng(10))
+        hb2 = HeatbathUpdater(beta=beta, rng=make_rng(11))
+        p_hot = np.mean(hb1.thermalize(hot, 16)[-6:])
+        p_cold = np.mean(hb2.thermalize(cold, 16)[-6:])
+        assert p_hot == pytest.approx(p_cold, abs=0.05)
+        # Known quenched value at beta=5.9 is ~0.58.
+        assert 0.45 < p_hot < 0.70
+
+    def test_strong_coupling_limit(self, geom_small):
+        """At small beta the plaquette follows beta/18 + O(beta^3)."""
+        beta = 0.9
+        g = GaugeField.hot(geom_small, make_rng(12))
+        hb = HeatbathUpdater(beta=beta, rng=make_rng(13), n_overrelax=0)
+        p = np.mean(hb.thermalize(g, 14)[-6:])
+        assert p == pytest.approx(beta / 18.0, abs=0.02)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HeatbathUpdater(beta=-1.0)
+        with pytest.raises(ValueError):
+            HeatbathUpdater(beta=1.0, n_overrelax=-1)
+
+    def test_overrelaxation_preserves_action(self, geom_small):
+        """A pure overrelaxation sweep must leave the action unchanged."""
+        g = GaugeField.hot(geom_small, make_rng(14))
+        hb = HeatbathUpdater(beta=5.5, rng=make_rng(15))
+        before = g.wilson_action(5.5)
+        hb._sweep(g, mode="overrelax")
+        after = g.wilson_action(5.5)
+        assert after == pytest.approx(before, rel=1e-6)
+
+
+class TestHMC:
+    def test_reversibility(self, geom_tiny):
+        hmc = PureGaugeHMC(beta=5.5, n_steps=8, rng=make_rng(16))
+        g = GaugeField.random(geom_tiny, make_rng(17), scale=0.4)
+        p = hmc.sample_momenta(g)
+        g2, p2 = hmc.leapfrog(g, p)
+        g3, p3 = hmc.leapfrog(g2, -p2)
+        np.testing.assert_allclose(g3.u, g.u, atol=1e-9)
+        np.testing.assert_allclose(-p3, p, atol=1e-9)
+
+    def test_energy_violation_scales_as_dt_squared(self, geom_tiny):
+        g = GaugeField.random(geom_tiny, make_rng(18), scale=0.4)
+        dhs = []
+        for n_steps in (8, 16):
+            hmc = PureGaugeHMC(beta=5.5, n_steps=n_steps, rng=make_rng(19))
+            p = hmc.sample_momenta(g)
+            h0 = hmc.hamiltonian(g, p)
+            g2, p2 = hmc.leapfrog(g, p)
+            dhs.append(abs(hmc.hamiltonian(g2, p2) - h0))
+        # Leapfrog is O(dt^2): halving dt cuts |dH| by ~4 (allow slack).
+        assert dhs[1] < dhs[0] / 2.5
+
+    def test_acceptance_high_for_fine_steps(self, geom_tiny):
+        hmc = PureGaugeHMC(beta=5.5, n_steps=20, rng=make_rng(20))
+        g = GaugeField.random(geom_tiny, make_rng(21), scale=0.4)
+        for _ in range(4):
+            hmc.trajectory(g)  # thermalize a bit
+        results = hmc.run(g, 10)
+        assert sum(r.accepted for r in results) >= 7
+
+    def test_kinetic_energy_positive(self, geom_tiny):
+        hmc = PureGaugeHMC(beta=5.0, rng=make_rng(22))
+        g = GaugeField.cold(geom_tiny)
+        p = hmc.sample_momenta(g)
+        assert hmc.kinetic_energy(p) > 0.0
+
+    def test_momentum_distribution_matches_energy(self, geom_tiny):
+        """<K> = dof/2 for Gaussian momenta with density exp(tr P^2)."""
+        hmc = PureGaugeHMC(beta=5.0, rng=make_rng(23))
+        g = GaugeField.cold(geom_tiny)
+        ks = [hmc.kinetic_energy(hmc.sample_momenta(g)) for _ in range(50)]
+        dof = 8 * 4 * g.geometry.volume  # 8 generators x 4 links/site
+        assert np.mean(ks) == pytest.approx(dof / 2.0, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PureGaugeHMC(beta=5.0, n_steps=0)
+        with pytest.raises(ValueError):
+            PureGaugeHMC(beta=5.0, traj_length=0.0)

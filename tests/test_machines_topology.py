@@ -1,0 +1,79 @@
+"""Fat-tree topology: locality, oversubscription, placement penalties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines.topology import FatTree, TOPOLOGIES
+
+
+@pytest.fixture
+def tree():
+    return FatTree("test", nodes_per_leaf=4, oversubscription=2.0)
+
+
+class TestStructure:
+    def test_leaf_assignment(self, tree):
+        assert tree.leaf_of(0) == 0
+        assert tree.leaf_of(3) == 0
+        assert tree.leaf_of(4) == 1
+
+    def test_hop_counts(self, tree):
+        assert tree.hops(1, 1) == 0
+        assert tree.hops(0, 3) == 2  # same leaf
+        assert tree.hops(0, 4) == 4  # cross spine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTree("x", nodes_per_leaf=0)
+        with pytest.raises(ValueError):
+            FatTree("x", oversubscription=0.5)
+        with pytest.raises(ValueError):
+            FatTree("x").leaf_of(-1)
+
+
+class TestPlacementMetrics:
+    def test_compact_block_is_ideal(self, tree):
+        block = [0, 1, 2, 3]
+        assert tree.leaves_spanned(block) == 1
+        assert tree.bandwidth_factor(block) == pytest.approx(1.0)
+        assert tree.placement_penalty(block) == pytest.approx(1.0)
+
+    def test_scattered_placement_pays(self, tree):
+        scattered = [0, 4, 8, 12]  # one node per leaf
+        assert tree.leaves_spanned(scattered) == 4
+        assert tree.bandwidth_factor(scattered) == pytest.approx(0.5)
+        assert tree.placement_penalty(scattered) == pytest.approx(2.0)
+
+    def test_mixed_placement_between(self, tree):
+        mixed = [0, 1, 4, 5]
+        bw = tree.bandwidth_factor(mixed)
+        assert 0.5 < bw < 1.0
+        assert 1.0 < tree.placement_penalty(mixed) < 2.0
+
+    def test_mean_hops_ordering(self, tree):
+        assert tree.mean_hops([0, 1]) < tree.mean_hops([0, 4])
+        assert tree.mean_hops([7]) == 0.0
+
+    def test_sensitivity_scales_penalty(self, tree):
+        scattered = [0, 4, 8, 12]
+        full = tree.placement_penalty(scattered, sensitivity=1.0)
+        partial = tree.placement_penalty(scattered, sensitivity=0.3)
+        assert 1.0 < partial < full
+
+    def test_full_bisection_tree_never_penalizes(self):
+        ray = TOPOLOGIES["ray"]
+        assert ray.placement_penalty([0, 20, 40, 60]) == pytest.approx(1.0)
+
+    def test_registry_covers_all_machines(self):
+        assert set(TOPOLOGIES) == {"titan", "ray", "sierra", "summit"}
+
+    def test_mpijm_block_beats_metaq_scatter_on_sierra(self):
+        """The quantitative version of the anti-fragmentation argument:
+        a 4-node mpi_jm block runs at full bandwidth; the same job
+        scattered across leaves by a fragmented first-fit does not."""
+        sierra = TOPOLOGIES["sierra"]
+        block = [36, 37, 38, 39]  # one leaf
+        scattered = [0, 19, 40, 77]  # four leaves
+        assert sierra.placement_penalty(block) == pytest.approx(1.0)
+        assert sierra.placement_penalty(scattered) > 1.5

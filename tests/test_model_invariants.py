@@ -1,0 +1,153 @@
+"""Monotonicity and sanity invariants of the performance models.
+
+These are the properties a user extrapolating beyond the calibrated
+points implicitly relies on: more bandwidth never hurts, more local
+volume never lowers efficiency, bigger messages never take less time,
+and the policy space is ordered the way the hardware says it should be.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import CommCostModel, CommPolicy, HaloGranularity, TransferPath, best_decomposition
+from repro.machines import GPU_V100, get_machine
+from repro.machines.registry import GPUSpec
+from repro.perfmodel import GPUKernelModel, LaunchParams, SolverPerfModel
+from repro.perfmodel.solver import SolverPerfPoint
+
+
+class TestRooflineInvariants:
+    @given(bw=st.floats(100.0, 2000.0))
+    @settings(max_examples=20, deadline=None)
+    def test_more_bandwidth_never_slower(self, bw):
+        slow = GPUSpec("A", "volta", 15.0, bw, 1.0)
+        fast = GPUSpec("B", "volta", 15.0, bw * 1.5, 1.0)
+        m_slow = GPUKernelModel(slow, bytes_moved=1e8)
+        m_fast = GPUKernelModel(fast, bytes_moved=1e8)
+        assert m_fast.best_time() <= m_slow.best_time()
+
+    @given(nbytes=st.floats(1e6, 1e10))
+    @settings(max_examples=20, deadline=None)
+    def test_time_monotone_in_bytes(self, nbytes):
+        m1 = GPUKernelModel(GPU_V100, bytes_moved=nbytes)
+        m2 = GPUKernelModel(GPU_V100, bytes_moved=2 * nbytes)
+        assert m2.default_time() > m1.default_time()
+
+    def test_compute_bound_kernel_limited_by_flops(self):
+        m = GPUKernelModel(GPU_V100, bytes_moved=1.0, flops=1e12)
+        # 1e12 flops at 15 TF/s ~ 67 ms regardless of launch config
+        assert m.best_time() >= 1e12 / (GPU_V100.fp32_tflops * 1e12)
+
+
+class TestSolverModelInvariants:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SolverPerfModel(get_machine("sierra"), (48, 48, 48, 64), 20)
+
+    def test_iteration_time_positive_everywhere(self, model):
+        from repro.comm import available_policies
+
+        for n in (4, 16, 64, 144):
+            for pol in available_policies(get_machine("sierra")):
+                assert model.iteration_time(n, pol) > 0.0
+
+    def test_total_throughput_monotone_in_gpus(self, model):
+        rates = [model.predict(n).tflops_total for n in (4, 16, 48, 96)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_per_gpu_efficiency_monotone_down(self, model):
+        eff = [model.predict(n).tflops_per_gpu for n in (4, 16, 48, 96, 144)]
+        assert all(b <= a + 1e-9 for a, b in zip(eff, eff[1:]))
+
+    def test_larger_ls_more_flops_per_iteration(self):
+        m12 = SolverPerfModel(get_machine("sierra"), (48, 48, 48, 64), 12)
+        m20 = SolverPerfModel(get_machine("sierra"), (48, 48, 48, 64), 20)
+        assert (
+            m20.predict(16).flops_per_iter_per_gpu
+            > m12.predict(16).flops_per_iter_per_gpu
+        )
+
+    def test_gdr_machine_never_slower(self):
+        sierra = get_machine("sierra")
+        with_gdr = dataclasses.replace(sierra, gdr_supported=True)
+        base = SolverPerfModel(sierra, (48, 48, 48, 64), 20)
+        gdr = SolverPerfModel(with_gdr, (48, 48, 48, 64), 20)
+        for n in (16, 64, 144):
+            assert gdr.predict(n).time_per_iter_s <= base.predict(n).time_per_iter_s + 1e-12
+
+    def test_perf_point_consistency(self, model):
+        p = model.predict(16)
+        assert isinstance(p, SolverPerfPoint)
+        assert p.pflops_total == pytest.approx(p.tflops_total / 1000.0)
+        assert p.tflops_per_gpu == pytest.approx(p.tflops_total / p.n_gpus)
+
+
+class TestCommModelInvariants:
+    def test_exchange_time_monotone_in_ls(self):
+        sierra = get_machine("sierra")
+        d = best_decomposition((48, 48, 48, 64), 32)
+        pol = CommPolicy(TransferPath.STAGED_CPU, HaloGranularity.FUSED)
+        t_small = CommCostModel(sierra, d, 8).exchange_time(pol)
+        t_large = CommCostModel(sierra, d, 24).exchange_time(pol)
+        assert t_large > t_small
+
+    def test_no_partition_no_comm(self):
+        sierra = get_machine("sierra")
+        d = best_decomposition((48, 48, 48, 64), 1)
+        m = CommCostModel(sierra, d, 20)
+        pol = CommPolicy(TransferPath.STAGED_CPU, HaloGranularity.FUSED)
+        assert m.exchange_time(pol) == 0.0
+        assert m.total_bytes() == 0.0
+
+    @given(n=st.sampled_from([2, 4, 8, 16, 32, 64]))
+    @settings(max_examples=12, deadline=None)
+    def test_policy_ordering_stable(self, n):
+        """Zero-copy never loses to staged on identical geometry (it has
+        strictly better latency, overhead and bandwidth constants)."""
+        sierra = get_machine("sierra")
+        d = best_decomposition((48, 48, 48, 64), n)
+        m = CommCostModel(sierra, d, 20)
+        for gran in HaloGranularity:
+            zc = m.exchange_time(CommPolicy(TransferPath.ZERO_COPY, gran))
+            staged = m.exchange_time(CommPolicy(TransferPath.STAGED_CPU, gran))
+            if d.partitioned_dims():
+                assert zc <= staged
+
+
+class TestWorkloadInvariants:
+    def test_flops_conserved_across_schedulers(self):
+        """Scheduling changes *when* work runs, never how much."""
+        from repro.cluster import ClusterSim, NaiveBundler, WorkloadSpec, make_propagator_workload
+        from repro.jobmgr import METAQ
+
+        sierra = get_machine("sierra")
+        tasks = make_propagator_workload(
+            sierra, WorkloadSpec(n_propagators=30, cg_iterations=1000), rng=1
+        )
+        total = sum(t.flops for t in tasks)
+        for scheduler in ("naive", "metaq"):
+            sim = ClusterSim(16, 4, 40, rng=2)
+            if scheduler == "naive":
+                NaiveBundler(sim).run(tasks)
+            else:
+                METAQ(sim).run(tasks)
+            assert sum(t.flops for t in sim.completed) == pytest.approx(total)
+
+    def test_makespan_at_least_critical_path(self):
+        from repro.cluster import ClusterSim, Task
+        from repro.jobmgr import METAQ
+
+        sim = ClusterSim(2, 4, 8, rng=3, perf_jitter=0.0)
+        tasks = [
+            Task(name=f"t{i}", n_nodes=1, gpus_per_node=4, cpus_per_node=1, work=10.0)
+            for i in range(6)
+        ]
+        makespan = METAQ(sim, mpirun_overhead=0.0).run(tasks)
+        # 6 tasks x 10 s on 2 nodes: lower bound 30 s
+        assert makespan >= 30.0 - 1e-9

@@ -1,0 +1,142 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here is an invariant a user can rely on regardless of
+input details: serialization round-trips, geometric conservation laws,
+monotonicity of cost models, statistical normalizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import model_average
+from repro.comm import best_decomposition, halo_message_bytes
+from repro.io import FieldFile
+from repro.lattice import Geometry
+from repro.perfmodel import dslash_cost
+from repro.solvers import PRECISIONS
+from repro.utils.rng import make_rng
+
+# -- strategies ------------------------------------------------------------
+
+lattice_dims = st.tuples(
+    st.sampled_from([2, 4, 6]),
+    st.sampled_from([2, 4, 6]),
+    st.sampled_from([2, 4]),
+    st.sampled_from([4, 8]),
+)
+
+small_arrays = st.tuples(
+    st.integers(1, 4), st.integers(1, 4), st.sampled_from(["float64", "complex128", "int32"])
+)
+
+
+class TestFieldFileProperties:
+    @given(spec=small_arrays, seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_array(self, tmp_path_factory, spec, seed):
+        n, m, dtype = spec
+        rng = make_rng(seed)
+        arr = rng.normal(size=(n, m))
+        if dtype == "complex128":
+            arr = arr + 1j * rng.normal(size=(n, m))
+        arr = arr.astype(dtype)
+        ff = FieldFile({"seed": seed})
+        ff.add("a", arr)
+        path = tmp_path_factory.mktemp("ff") / "x.lq"
+        ff.save(path)
+        back = FieldFile.load(path)
+        np.testing.assert_array_equal(back["a"], arr)
+        assert back["a"].dtype == arr.dtype
+
+
+class TestDecompositionProperties:
+    @given(dims=st.sampled_from([(48, 48, 48, 64), (64, 64, 64, 96), (96, 96, 96, 144)]),
+           n=st.sampled_from([1, 2, 4, 8, 16, 24, 32, 64, 96, 128, 256]))
+    @settings(max_examples=40, deadline=None)
+    def test_volume_conserved(self, dims, n):
+        try:
+            d = best_decomposition(dims, n)
+        except ValueError:
+            return
+        assert d.local_volume * d.n_ranks == int(np.prod(dims))
+
+    @given(n=st.sampled_from([2, 4, 8, 16, 32, 64]))
+    @settings(max_examples=20, deadline=None)
+    def test_surface_less_than_volume(self, n):
+        d = best_decomposition((48, 48, 48, 64), n)
+        if d.partitioned_dims():
+            assert 0 < d.surface_sites() <= 8 * d.local_volume
+
+    @given(n=st.sampled_from([2, 4, 8, 16]), ls=st.sampled_from([4, 8, 12, 20]))
+    @settings(max_examples=20, deadline=None)
+    def test_halo_bytes_linear_in_ls(self, n, ls):
+        d = best_decomposition((48, 48, 48, 64), n)
+        mu = d.partitioned_dims()[0]
+        b1 = halo_message_bytes(d, mu, ls)
+        b2 = halo_message_bytes(d, mu, 2 * ls)
+        assert b2 == pytest.approx(2.0 * b1)
+
+
+class TestCostModelProperties:
+    @given(sites=st.integers(100, 10_000_000), ls=st.sampled_from([4, 8, 12, 16, 20]))
+    @settings(max_examples=30, deadline=None)
+    def test_dslash_cost_scales_linearly(self, sites, ls):
+        c1 = dslash_cost(sites, ls)
+        c2 = dslash_cost(2 * sites, ls)
+        assert c2.flops_total == pytest.approx(2.0 * c1.flops_total)
+        assert 1.7 < c1.arithmetic_intensity < 2.0
+
+
+class TestPrecisionProperties:
+    @given(seed=st.integers(0, 300), name=st.sampled_from(["double", "single", "half"]))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_error_bounded_by_epsilon(self, seed, name):
+        p = PRECISIONS[name]
+        rng = make_rng(seed)
+        x = rng.normal(size=(3, 4, 3)) + 1j * rng.normal(size=(3, 4, 3))
+        out = p.roundtrip(x)
+        scale = np.abs(x).max(axis=(-2, -1), keepdims=True)
+        assert np.abs(out - x).max() <= 4.0 * p.epsilon() * scale.max()
+
+
+class TestModelAverageProperties:
+    @given(seed=st.integers(0, 500), k=st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_weights_normalized_and_value_in_hull(self, seed, k):
+        rng = make_rng(seed)
+        vals = rng.normal(1.27, 0.05, size=k)
+        errs = np.abs(rng.normal(0.01, 0.003, size=k)) + 1e-4
+        chi2 = np.abs(rng.normal(8, 3, size=k))
+        res = model_average(vals, errs, chi2, np.full(k, 4), np.full(k, 12))
+        assert sum(res.weights) == pytest.approx(1.0)
+        assert vals.min() - 1e-12 <= res.value <= vals.max() + 1e-12
+        assert res.error >= 0
+
+
+class TestGeometryProperties:
+    @given(dims=lattice_dims, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_group_structure(self, dims, seed):
+        """Shifts commute and invert — the translation group."""
+        geom = Geometry(*dims)
+        rng = make_rng(seed)
+        f = rng.normal(size=geom.dims)
+        a = geom.shift(geom.shift(f, 0, +1), 3, +1)
+        b = geom.shift(geom.shift(f, 3, +1), 0, +1)
+        np.testing.assert_array_equal(a, b)
+        c = geom.shift(geom.shift(f, 1, +1), 1, -1)
+        np.testing.assert_array_equal(c, f)
+
+    @given(dims=lattice_dims)
+    @settings(max_examples=20, deadline=None)
+    def test_full_cycle_is_identity(self, dims):
+        geom = Geometry(*dims)
+        f = np.arange(geom.volume, dtype=float).reshape(geom.dims)
+        out = f
+        for _ in range(dims[2]):
+            out = geom.shift(out, 2, +1)
+        np.testing.assert_array_equal(out, f)

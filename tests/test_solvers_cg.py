@@ -1,0 +1,101 @@
+"""Conjugate gradient and CGNE on dense reference problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConjugateGradient, SolveResult, solve_normal_equations
+
+
+def _spd_system(seed: int, n: int = 40, cond: float = 100.0):
+    """Random hermitian positive-definite system with known solution."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    a = (q * eigs) @ q.conj().T
+    x_true = rng.normal(size=(n, 1, 1)) + 1j * rng.normal(size=(n, 1, 1))
+    return a, x_true
+
+
+def _matvec(a):
+    return lambda v: (a @ v.reshape(len(a))).reshape(v.shape)
+
+
+class TestCG:
+    def test_solves_spd_system(self):
+        a, x_true = _spd_system(0)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-12, max_iter=500).solve(_matvec(a), b)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
+    def test_zero_rhs(self):
+        a, _ = _spd_system(1)
+        res = ConjugateGradient().solve(_matvec(a), np.zeros((len(a), 1, 1), dtype=complex))
+        assert res.converged and res.iterations == 0
+        assert np.abs(res.x).max() == 0.0
+
+    def test_initial_guess_exact(self):
+        a, x_true = _spd_system(2)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-10).solve(_matvec(a), b, x0=x_true)
+        assert res.final_relres < 1e-10
+
+    def test_max_iter_respected(self):
+        a, x_true = _spd_system(3, cond=1e6)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-14, max_iter=3).solve(_matvec(a), b)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_residual_history_decreases_overall(self):
+        a, x_true = _spd_system(4)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-10, max_iter=500).solve(_matvec(a), b)
+        hist = res.residual_history
+        assert hist[-1] < hist[0]
+
+    def test_flop_accounting(self):
+        a, x_true = _spd_system(5)
+        b = _matvec(a)(x_true)
+        solver = ConjugateGradient(tol=1e-10, max_iter=500,
+                                   flops_per_matvec=100.0, blas_flops_per_iter=10.0)
+        res = solver.solve(_matvec(a), b)
+        expected = res.iterations * 110.0 + 100.0  # final true-residual check
+        assert res.flops == pytest.approx(expected)
+
+    def test_exact_in_n_iterations(self):
+        """CG terminates in at most n steps in exact arithmetic."""
+        a, x_true = _spd_system(6, n=12, cond=10.0)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-12, max_iter=60).solve(_matvec(a), b)
+        assert res.iterations <= 14
+
+
+class TestCGNE:
+    def test_nonhermitian_system(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        a = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)) + 4.0 * np.eye(n)
+        x_true = rng.normal(size=(n, 1, 1)) + 0j
+        b = (a @ x_true.reshape(n)).reshape(x_true.shape)
+        adag = a.conj().T
+        res = solve_normal_equations(
+            _matvec(a), _matvec(adag), b, ConjugateGradient(tol=1e-12, max_iter=500)
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+        assert res.final_relres < 1e-8
+
+    def test_reports_original_system_residual(self):
+        rng = np.random.default_rng(8)
+        n = 20
+        a = rng.normal(size=(n, n)) + 5.0 * np.eye(n) + 0j
+        x_true = rng.normal(size=(n, 1, 1)) + 0j
+        b = (a @ x_true.reshape(n)).reshape(x_true.shape)
+        res = solve_normal_equations(
+            _matvec(a), _matvec(a.conj().T), b, ConjugateGradient(tol=1e-10, max_iter=200)
+        )
+        direct = np.linalg.norm(b.ravel() - (a @ res.x.reshape(n)))
+        assert res.final_relres == pytest.approx(direct / np.linalg.norm(b.ravel()), rel=1e-6)

@@ -1,0 +1,95 @@
+"""Multi-shift CG: all shifts from one Krylov sequence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import ConjugateGradient, MultiShiftCG
+
+
+def _spd(seed: int, n: int = 40, lo: float = 0.5, hi: float = 200.0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)))
+    eigs = np.geomspace(lo, hi, n)
+    a = (q * eigs) @ q.conj().T
+    b = rng.normal(size=(n, 1, 1)) + 1j * rng.normal(size=(n, 1, 1))
+    return a, b
+
+
+def _mv(a):
+    return lambda v: (a @ v.reshape(len(a))).reshape(v.shape)
+
+
+class TestMultiShiftCG:
+    def test_matches_direct_solves(self):
+        a, b = _spd(0)
+        n = len(a)
+        shifts = [0.0, 0.5, 2.0, 10.0]
+        res = MultiShiftCG(tol=1e-10, max_iter=500).solve(_mv(a), b, shifts)
+        assert res.converged
+        for s, x in zip(res.shifts, res.solutions):
+            direct = np.linalg.solve(a + s * np.eye(n), b.reshape(n))
+            np.testing.assert_allclose(x.reshape(n), direct, atol=1e-8)
+
+    def test_unsorted_shifts_returned_in_input_order(self):
+        a, b = _spd(1)
+        shifts = [5.0, 0.0, 1.0]
+        res = MultiShiftCG(tol=1e-10, max_iter=500).solve(_mv(a), b, shifts)
+        assert res.shifts == (5.0, 0.0, 1.0)
+        n = len(a)
+        for s, x in zip(res.shifts, res.solutions):
+            direct = np.linalg.solve(a + s * np.eye(n), b.reshape(n))
+            np.testing.assert_allclose(x.reshape(n), direct, atol=1e-7)
+
+    def test_single_krylov_sequence(self):
+        """The whole point: cost ~ one CG on the base shift, not one per
+        shift (iterations equal the single-shift count up to slack)."""
+        a, b = _spd(2)
+        base = ConjugateGradient(tol=1e-10, max_iter=500).solve(_mv(a), b)
+        multi = MultiShiftCG(tol=1e-10, max_iter=500).solve(
+            _mv(a), b, [0.0, 1.0, 4.0, 16.0]
+        )
+        assert multi.iterations <= base.iterations + 3
+
+    def test_larger_shifts_converge_faster(self):
+        a, b = _spd(3)
+        res = MultiShiftCG(tol=1e-10, max_iter=500).solve(_mv(a), b, [0.0, 50.0])
+        assert res.final_relres[1] <= res.final_relres[0] * 10
+
+    def test_zero_rhs(self):
+        a, _ = _spd(4)
+        b = np.zeros((len(a), 1, 1), dtype=complex)
+        res = MultiShiftCG().solve(_mv(a), b, [0.0, 1.0])
+        assert res.converged
+        assert all(np.abs(x).max() == 0.0 for x in res.solutions)
+
+    def test_validation(self):
+        a, b = _spd(5)
+        ms = MultiShiftCG()
+        with pytest.raises(ValueError):
+            ms.solve(_mv(a), b, [])
+        with pytest.raises(ValueError):
+            ms.solve(_mv(a), b, [-1.0])
+
+    def test_flop_accounting(self):
+        a, b = _spd(6)
+        ms = MultiShiftCG(tol=1e-10, max_iter=500, flops_per_matvec=100.0)
+        res = ms.solve(_mv(a), b, [0.0, 1.0])
+        # one matvec per iteration + one true-residual check per shift
+        assert res.flops == pytest.approx((res.iterations + 2) * 100.0)
+
+    def test_on_dirac_normal_operator(self, gauge_tiny, rng):
+        """Multi-mass solves of D^H D + sigma (the RHMC use case)."""
+        from repro.dirac import MobiusOperator
+        from tests.conftest import random_fermion
+
+        mob = MobiusOperator(gauge_tiny, ls=4, mass=0.1)
+        b = random_fermion(rng, mob.field_shape)
+        shifts = [0.0, 0.1, 1.0]
+        res = MultiShiftCG(tol=1e-8, max_iter=2000).solve(mob.apply_normal, b, shifts)
+        assert res.converged
+        for s, x in zip(shifts, res.solutions):
+            lhs = mob.apply_normal(x) + s * x
+            rel = np.linalg.norm((lhs - b).ravel()) / np.linalg.norm(b.ravel())
+            assert rel < 1e-6

@@ -1,0 +1,95 @@
+"""Precision policies: storage round-trips and error bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import DoublePrecision, HalfPrecision, PRECISIONS, SinglePrecision
+
+
+def _field(seed: int, scale: float = 1.0, shape=(4, 4, 4, 3)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return scale * (rng.normal(size=shape) + 1j * rng.normal(size=shape))
+
+
+class TestDouble:
+    def test_lossless(self):
+        x = _field(0)
+        np.testing.assert_array_equal(DoublePrecision().roundtrip(x), x)
+
+    def test_epsilon(self):
+        assert DoublePrecision().epsilon() == pytest.approx(2.22e-16, rel=0.01)
+
+
+class TestSingle:
+    def test_roundtrip_error_bounded(self):
+        x = _field(1)
+        err = np.abs(SinglePrecision().roundtrip(x) - x).max()
+        assert 0 < err < 1e-6 * np.abs(x).max()
+
+    def test_returns_double_dtype(self):
+        assert SinglePrecision().roundtrip(_field(2)).dtype == np.complex128
+
+
+class TestHalf:
+    @given(seed=st.integers(0, 500), scale=st.sampled_from([1e-8, 1e-3, 1.0, 1e6]))
+    @settings(max_examples=25, deadline=None)
+    def test_relative_error_scale_invariant(self, seed, scale):
+        """Per-site normalization keeps the error relative to the *site*
+        magnitude regardless of global scale — QUDA's fixed-point trick."""
+        h = HalfPrecision()
+        x = _field(seed, scale=scale)
+        out = h.roundtrip(x)
+        site_mag = np.maximum(np.abs(x.real), np.abs(x.imag)).max(axis=(-2, -1), keepdims=True)
+        rel = np.abs(out - x) / site_mag
+        assert rel.max() < 3.0 * h.epsilon()
+
+    def test_zero_field_safe(self):
+        h = HalfPrecision()
+        x = np.zeros((2, 4, 3), dtype=complex)
+        np.testing.assert_array_equal(h.roundtrip(x), x)
+
+    def test_idempotent(self):
+        """A second store/load of already-quantized data is exact."""
+        h = HalfPrecision()
+        x = _field(3)
+        once = h.roundtrip(x)
+        twice = h.roundtrip(once)
+        np.testing.assert_allclose(twice, once, atol=1e-12)
+
+    def test_store_shapes(self):
+        h = HalfPrecision()
+        x = _field(4, shape=(5, 2, 4, 3))
+        re, im, norms = h.store(x)
+        assert re.shape == x.shape and re.dtype == np.int16
+        assert norms.shape == (5, 2, 1, 1)
+
+    def test_needs_internal_axes(self):
+        with pytest.raises(ValueError):
+            HalfPrecision().store(np.zeros(7, dtype=complex))
+
+    def test_bytes_accounting(self):
+        # int16 re+im plus amortized norm: between 4 and 4.5 bytes.
+        assert 4.0 < HalfPrecision().bytes_per_complex < 4.5
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(PRECISIONS) == {"double", "single", "half"}
+
+    def test_epsilon_ordering(self):
+        assert (
+            PRECISIONS["double"].epsilon()
+            < PRECISIONS["single"].epsilon()
+            < PRECISIONS["half"].epsilon()
+        )
+
+    def test_storage_cost_ordering(self):
+        assert (
+            PRECISIONS["half"].bytes_per_complex
+            < PRECISIONS["single"].bytes_per_complex
+            < PRECISIONS["double"].bytes_per_complex
+        )
