@@ -1,0 +1,127 @@
+"""Wall-clock race of the dslash kernel backends, per volume.
+
+Runs every registered hopping-term backend on a ladder of local volumes
+and emits ``BENCH_dslash.json`` (next to this file) with per-backend
+timings and model GFlop/s, plus the multi-RHS amortization factor of the
+batched path — the perf trajectory future PRs compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dslash_backends.py
+
+or through pytest (registers a report section and asserts the
+half-spinor backend beats the reference stencil)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dslash_backends.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dirac import WilsonOperator, available_backends
+from repro.lattice import GaugeField, Geometry
+from repro.utils.rng import make_rng
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dslash.json"
+
+#: (label, dims) ladder — tiny volume for overhead visibility, the paper
+#: benchmark volume for the headline number.
+VOLUMES: tuple[tuple[str, tuple[int, int, int, int]], ...] = (
+    ("4x4x4x8", (4, 4, 4, 8)),
+    ("8x8x8x16", (8, 8, 8, 16)),
+)
+
+N_RHS = 12  # one propagator's worth of spin-colour sources
+REPEATS = 5
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    fn()  # warm-up: workspace allocation, einsum path resolution
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(volumes=VOLUMES, repeats: int = REPEATS) -> dict:
+    results: dict = {"n_rhs": N_RHS, "repeats": repeats, "volumes": {}}
+    for label, dims in volumes:
+        geom = Geometry(*dims)
+        gauge = GaugeField.random(geom, make_rng(55), scale=0.35)
+        rng = make_rng(56)
+        shape = geom.dims + (4, 3)
+        psi = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        stack = rng.normal(size=(N_RHS,) + shape) + 1j * rng.normal(
+            size=(N_RHS,) + shape
+        )
+
+        per_backend: dict = {}
+        for name in available_backends():
+            w = WilsonOperator(gauge, mass=0.1, backend=name)
+            t = _best_of(lambda: w.hopping(psi), repeats)
+            flops = w.flops_per_apply(psi.shape)
+            per_backend[name] = {
+                "time_s": t,
+                "gflops": flops / t / 1e9,
+            }
+
+        # Multi-RHS amortization on the default backend: one stacked
+        # application vs N_RHS single ones.
+        w = WilsonOperator(gauge, mass=0.1)
+        t_stacked = _best_of(lambda: w.hopping(stack), repeats)
+        t_single = per_backend[w.backend]["time_s"]
+        ref = per_backend["reference"]["time_s"]
+        half = per_backend["halfspinor"]["time_s"]
+        results["volumes"][label] = {
+            "backends": per_backend,
+            "speedup_halfspinor_vs_reference": ref / half,
+            "batched": {
+                "backend": w.backend,
+                "time_s_stacked": t_stacked,
+                "gflops": w.flops_per_apply(stack.shape) / t_stacked / 1e9,
+                "amortization_vs_single": (N_RHS * t_single) / t_stacked,
+            },
+        }
+    return results
+
+
+def write_report(path: Path = OUTPUT) -> dict:
+    results = run()
+    path.write_text(json.dumps(results, indent=1, sort_keys=True))
+    return results
+
+
+def test_halfspinor_beats_reference(report):
+    results = write_report()
+    lines = []
+    for label, vol in results["volumes"].items():
+        for name, entry in sorted(vol["backends"].items()):
+            lines.append(
+                f"{label:>10s}  {name:<18s} {entry['time_s'] * 1e3:8.2f} ms "
+                f"{entry['gflops']:7.2f} GF/s"
+            )
+        bat = vol["batched"]
+        lines.append(
+            f"{label:>10s}  batched x{results['n_rhs']:<8d} "
+            f"{bat['time_s_stacked'] * 1e3:8.2f} ms {bat['gflops']:7.2f} GF/s "
+            f"(amortization {bat['amortization_vs_single']:.2f}x)"
+        )
+        lines.append(
+            f"{label:>10s}  halfspinor vs reference: "
+            f"{vol['speedup_halfspinor_vs_reference']:.2f}x"
+        )
+    report("Dslash backend race (wrote BENCH_dslash.json)", "\n".join(lines))
+    assert results["volumes"]["8x8x8x16"]["speedup_halfspinor_vs_reference"] >= 1.5
+
+
+if __name__ == "__main__":
+    out = write_report()
+    print(json.dumps(out, indent=1, sort_keys=True))
+    print(f"\nwrote {OUTPUT}")

@@ -11,13 +11,14 @@ Two tuners, mirroring QUDA's:
   fine-grained, per (machine, problem, GPU count).
 """
 
-from repro.autotune.kernel import KernelAutotuner, TuneKey, TuneEntry
+from repro.autotune.kernel import BackendEntry, KernelAutotuner, TuneKey, TuneEntry
 from repro.autotune.comm import CommPolicyTuner, CommTuneResult
 
 __all__ = [
     "KernelAutotuner",
     "TuneKey",
     "TuneEntry",
+    "BackendEntry",
     "CommPolicyTuner",
     "CommTuneResult",
 ]

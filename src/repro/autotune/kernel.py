@@ -15,15 +15,17 @@ be saved to / loaded from a JSON tunecache.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from repro.perfmodel.gpu import BLOCK_SIZES, GPUKernelModel, LaunchParams
 from repro.utils.rng import make_rng
 
-__all__ = ["TuneKey", "TuneEntry", "KernelAutotuner"]
+__all__ = ["TuneKey", "TuneEntry", "BackendEntry", "KernelAutotuner"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,26 @@ class TuneEntry:
         return LaunchParams(self.block_size, self.reg_cap)
 
 
+@dataclass
+class BackendEntry:
+    """Cached winner of a *real* backend race for one :class:`TuneKey`.
+
+    Unlike :class:`TuneEntry` (which tunes launch parameters against the
+    GPU performance model), a backend race wall-clock-times every
+    registered implementation of a kernel on the actual local volume and
+    remembers which one won.
+    """
+
+    backend: str
+    time_s: float
+    times: dict[str, float]
+    n_candidates: int
+
+    def speedup_vs(self, other: str) -> float:
+        """How much faster the winner is than a named loser."""
+        return self.times[other] / self.time_s
+
+
 class KernelAutotuner:
     """Brute-force launch-parameter tuner with a persistent cache.
 
@@ -93,6 +115,7 @@ class KernelAutotuner:
         self.noise = noise
         self.launches = launches_per_candidate
         self._cache: dict[TuneKey, TuneEntry] = {}
+        self._backend_cache: dict[TuneKey, BackendEntry] = {}
         self.tune_calls = 0
         self.lookup_hits = 0
 
@@ -173,21 +196,82 @@ class KernelAutotuner:
         entry = self.tune(key, model)
         return model.default_time() / model.time(entry.params)
 
+    # -- real backend races -------------------------------------------------
+    def tune_backend(
+        self, key: TuneKey, candidates: Mapping[str, Callable[[], Any]]
+    ) -> BackendEntry:
+        """Race real kernel implementations; cache and return the winner.
+
+        ``candidates`` maps backend names to zero-argument thunks that
+        run the actual kernel on a representative field.  Each candidate
+        gets one untimed warm-up launch (workspace allocation, einsum
+        path resolution — QUDA likewise discards the first launch) and
+        then ``launches_per_candidate`` timed launches, keeping the
+        minimum.  The winner is cached under ``key`` and persists
+        through :meth:`save`/:meth:`load`, so a fresh process that
+        loaded the tunecache never re-times anything.
+        """
+        if key in self._backend_cache:
+            self.lookup_hits += 1
+            return self._backend_cache[key]
+        if not candidates:
+            raise ValueError("need at least one backend candidate")
+        self.tune_calls += 1
+        times: dict[str, float] = {}
+        for name, thunk in candidates.items():
+            thunk()  # warm-up launch, untimed
+            best = np.inf
+            for _ in range(self.launches):
+                t0 = time.perf_counter()
+                thunk()
+                best = min(best, time.perf_counter() - t0)
+            times[name] = float(best)
+        winner = min(times, key=times.__getitem__)
+        entry = BackendEntry(
+            backend=winner,
+            time_s=times[winner],
+            times=times,
+            n_candidates=len(times),
+        )
+        self._backend_cache[key] = entry
+        return entry
+
+    def backend_choice(self, key: TuneKey) -> str | None:
+        """Cached backend winner for ``key`` (``None`` if never raced)."""
+        entry = self._backend_cache.get(key)
+        return entry.backend if entry is not None else None
+
     def __contains__(self, key: TuneKey) -> bool:
-        return key in self._cache
+        return key in self._cache or key in self._backend_cache
 
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._cache) + len(self._backend_cache)
 
     # -- persistence ----------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the tunecache as JSON (QUDA's profile file analogue)."""
-        payload = {k.as_string(): asdict(v) for k, v in self._cache.items()}
+        """Write the tunecache as JSON (QUDA's profile file analogue).
+
+        Format version 2: launch-parameter entries under ``"kernels"``
+        and backend-race winners under ``"backends"``.  Version-1 files
+        (a flat key-to-entry map) are still readable.
+        """
+        payload = {
+            "version": 2,
+            "kernels": {k.as_string(): asdict(v) for k, v in self._cache.items()},
+            "backends": {k.as_string(): asdict(v) for k, v in self._backend_cache.items()},
+        }
         Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
 
     def load(self, path: str | Path) -> int:
         """Merge a saved tunecache; returns the number of entries loaded."""
         payload = json.loads(Path(path).read_text())
-        for ks, ent in payload.items():
+        if "version" in payload:
+            kernels = payload.get("kernels", {})
+            backends = payload.get("backends", {})
+        else:  # legacy flat format
+            kernels, backends = payload, {}
+        for ks, ent in kernels.items():
             self._cache[TuneKey.from_string(ks)] = TuneEntry(**ent)
-        return len(payload)
+        for ks, ent in backends.items():
+            self._backend_cache[TuneKey.from_string(ks)] = BackendEntry(**ent)
+        return len(kernels) + len(backends)

@@ -89,6 +89,39 @@ def _memory() -> str:
     )
 
 
+def _backends() -> str:
+    """Race the dslash backends on a small lattice, QUDA-tuning style."""
+    import json
+
+    from repro.autotune import KernelAutotuner
+    from repro.dirac import WilsonOperator, dslash_tune_key
+    from repro.lattice import GaugeField, Geometry
+    from repro.utils.rng import make_rng
+
+    geom = Geometry(4, 4, 4, 8)
+    gauge = GaugeField.random(geom, make_rng(55), scale=0.35)
+    tuner = KernelAutotuner(launches_per_candidate=1)
+    wilson = WilsonOperator(gauge, mass=0.1, backend="auto", tuner=tuner)
+    key = dslash_tune_key(geom)
+    entry = tuner._backend_cache[key]
+    rows = [
+        (name, f"{t * 1e3:.2f}", "<- selected" if name == entry.backend else "")
+        for name, t in sorted(entry.times.items(), key=lambda kv: kv[1])
+    ]
+    table = format_table(
+        ["backend", "ms/hopping (4^3x8)", ""],
+        rows,
+        title="Dslash backend autotuning (first-encounter race)",
+    )
+    cache_note = (
+        f"winner cached under '{key.as_string()}';\n"
+        f"tunecache JSON round-trip: "
+        f"{len(json.dumps({key.as_string(): entry.backend}))} bytes, "
+        f"operator uses backend '{wilson.backend}'"
+    )
+    return table + "\n" + cache_note
+
+
 def _tts() -> str:
     from repro.perfmodel import CampaignSpec, time_to_solution
     from repro.workflow.speedup import TITAN_CAMPAIGN_NODES
@@ -120,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=["all", "table1", "table2", "table3", "headlines", "memory", "tts"],
+        choices=["all", "table1", "table2", "table3", "headlines", "memory", "backends", "tts"],
         default="all",
     )
     parser.add_argument("--version", action="version", version=__version__)
@@ -132,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         "table3": _table3,
         "headlines": _headlines,
         "memory": _memory,
+        "backends": _backends,
         "tts": _tts,
     }
     chosen = sections.values() if args.section == "all" else [sections[args.section]]

@@ -8,6 +8,15 @@ matrix-free stencil kernels).
 """
 
 from repro.dirac.gamma import GAMMA, GAMMA5, P_MINUS, P_PLUS, proj_minus, proj_plus
+from repro.dirac.kernels import (
+    DEFAULT_BACKEND,
+    available_backends,
+    dslash_tune_key,
+    get_backend,
+    make_kernel,
+    register_backend,
+    select_backend,
+)
 from repro.dirac.wilson import WilsonOperator
 from repro.dirac.mobius import MobiusOperator
 from repro.dirac.evenodd import EvenOddMobius
@@ -18,6 +27,13 @@ from repro.dirac.flops import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "dslash_tune_key",
+    "get_backend",
+    "make_kernel",
+    "register_backend",
+    "select_backend",
     "GAMMA",
     "GAMMA5",
     "P_MINUS",

@@ -47,6 +47,12 @@ class EvenOddMobius:
         geom = mobius.geometry
         self.even = geom.parity_mask(0)
         self.odd = geom.parity_mask(1)
+        # Broadcastable keep-masks (site axes at -6:-2 for any leading
+        # axes — fifth dimension and/or a multi-RHS stack).
+        self._keep = (
+            self.even[..., None, None],
+            self.odd[..., None, None],
+        )
         self.alpha = (4.0 - mobius.m5) * mobius.b5 + 1.0
         self.beta = (4.0 - mobius.m5) * mobius.c5 - 1.0
         self._m_plus, self._m_minus = self._build_a_blocks()
@@ -77,9 +83,16 @@ class EvenOddMobius:
     def _apply_s_matrix(self, mat_plus: np.ndarray, mat_minus: np.ndarray, psi: np.ndarray) -> np.ndarray:
         """Apply per-chirality ``Ls x Ls`` matrices along the 5th axis."""
         out = np.empty_like(psi)
-        # upper two spin components: chirality +
-        out[..., :2, :] = np.tensordot(mat_plus, psi[..., :2, :], axes=(1, 0))
-        out[..., 2:, :] = np.tensordot(mat_minus, psi[..., 2:, :], axes=(1, 0))
+        if psi.ndim == 7:  # no extra leading axes: fast tensordot path
+            # upper two spin components: chirality +
+            out[..., :2, :] = np.tensordot(mat_plus, psi[..., :2, :], axes=(1, 0))
+            out[..., 2:, :] = np.tensordot(mat_minus, psi[..., 2:, :], axes=(1, 0))
+            return out
+        s_axis = MobiusOperator.S_AXIS
+        for chi, mat in ((slice(0, 2), mat_plus), (slice(2, 4), mat_minus)):
+            x = np.moveaxis(psi[..., chi, :], s_axis, -1)
+            y = np.einsum("st,...t->...s", mat, x)
+            out[..., chi, :] = np.moveaxis(y, -1, s_axis)
         return out
 
     def a_apply(self, psi: np.ndarray) -> np.ndarray:
@@ -115,11 +128,12 @@ class EvenOddMobius:
 
     # -- checkerboard restriction ---------------------------------------------------
     def restrict(self, psi: np.ndarray, parity: int) -> np.ndarray:
-        """Zero out the opposite checkerboard (parity 0 = even)."""
-        out = psi.copy()
-        mask = self.odd if parity == 0 else self.even
-        out[:, mask] = 0.0
-        return out
+        """Zero out the opposite checkerboard (parity 0 = even).
+
+        Works for any leading axes (fifth dimension, multi-RHS stacks):
+        the keep-mask broadcasts against the trailing site axes.
+        """
+        return psi * self._keep[parity]
 
     # -- Schur complement --------------------------------------------------------------
     def schur_apply(self, x_even: np.ndarray) -> np.ndarray:
@@ -161,3 +175,12 @@ class EvenOddMobius:
     def flops_per_normal_apply(self) -> float:
         """Model flops per ``schur_normal_apply`` (paper convention)."""
         return self.mobius.flops_per_normal_apply()
+
+    # -- backend routing ----------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Dslash backend of the underlying Wilson kernel."""
+        return self.mobius.backend
+
+    def set_backend(self, name: str) -> None:
+        self.mobius.set_backend(name)

@@ -27,14 +27,25 @@ class EvenOddWilson:
         geom = wilson.geometry
         self.even = geom.parity_mask(0)
         self.odd = geom.parity_mask(1)
+        self._keep = (
+            self.even[..., None, None],
+            self.odd[..., None, None],
+        )
         self.diag = wilson.mass + 4.0
+
+    # -- backend routing -----------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Dslash backend of the underlying Wilson kernel."""
+        return self.wilson.backend
+
+    def set_backend(self, name: str) -> None:
+        self.wilson.set_backend(name)
 
     # -- checkerboard helpers ------------------------------------------------
     def restrict(self, psi: np.ndarray, parity: int) -> np.ndarray:
-        out = psi.copy()
-        mask = self.odd if parity == 0 else self.even
-        out[mask] = 0.0
-        return out
+        """Zero the opposite checkerboard; supports leading RHS axes."""
+        return psi * self._keep[parity]
 
     # -- Schur complement ---------------------------------------------------
     def schur_apply(self, x_even: np.ndarray) -> np.ndarray:

@@ -100,13 +100,19 @@ for _m in (GAMMA5, IDENTITY, P_PLUS, P_MINUS, AXIAL_GAMMA3, CHARGE_CONJ):
     _m.setflags(write=False)
 
 
+#: The two-operand ``spin_mul`` contraction admits exactly one pairwise
+#: order, so its einsum path is fixed here at import instead of being
+#: re-resolved by ``optimize=True`` on every call.
+_SPIN_MUL_PATH = ["einsum_path", (0, 1)]
+
+
 def spin_mul(mat: np.ndarray, psi: np.ndarray) -> np.ndarray:
     """Apply a 4x4 spin matrix to a fermion field.
 
     The spin axis is assumed to be the second-to-last axis of ``psi``
     (fields are ``(..., spin, colour)``).
     """
-    return np.einsum("st,...tc->...sc", mat, psi, optimize=True)
+    return np.einsum("st,...tc->...sc", mat, psi, optimize=_SPIN_MUL_PATH)
 
 
 def proj_plus(psi: np.ndarray) -> np.ndarray:

@@ -1,0 +1,45 @@
+"""Interchangeable, benchmarkable dslash kernel backends.
+
+The Wilson hopping term is the hot loop of every solve in this
+reproduction — the paper's sustained ~20 PFlops rests on QUDA's
+engineering of exactly this kernel.  This package provides:
+
+* ``reference`` — the original full 4-spinor einsum stencil, kept as the
+  correctness oracle (:mod:`repro.dirac.kernels.reference`);
+* ``halfspinor`` — DeGrand-Rossi spin projection to two-spinor half
+  fields before the SU(3) multiply, with workspace buffer reuse and
+  cached einsum contraction paths
+  (:mod:`repro.dirac.kernels.halfspinor`);
+* a registry plus autotuner integration that times every backend on the
+  actual local volume at first encounter and caches the winner in the
+  JSON tunecache (:mod:`repro.dirac.kernels.registry`).
+"""
+
+from repro.dirac.kernels.base import DslashKernel, Workspace, roll_into
+from repro.dirac.kernels.registry import (
+    DEFAULT_BACKEND,
+    available_backends,
+    dslash_tune_key,
+    get_backend,
+    make_kernel,
+    register_backend,
+    select_backend,
+)
+from repro.dirac.kernels.reference import ReferenceKernel
+from repro.dirac.kernels.halfspinor import HalfSpinorEinsumKernel, HalfSpinorKernel
+
+__all__ = [
+    "DslashKernel",
+    "Workspace",
+    "roll_into",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "dslash_tune_key",
+    "get_backend",
+    "make_kernel",
+    "register_backend",
+    "select_backend",
+    "ReferenceKernel",
+    "HalfSpinorKernel",
+    "HalfSpinorEinsumKernel",
+]

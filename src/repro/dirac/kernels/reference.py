@@ -1,0 +1,46 @@
+"""The reference dslash backend — the correctness oracle.
+
+This is the original :meth:`WilsonOperator.hopping` stencil verbatim:
+four full 4-spinor einsum contractions with ``np.roll`` neighbour
+gathers.  Every other backend is validated against it to double
+precision; it is deliberately left unoptimized so the oracle stays
+simple to audit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dirac import gamma as g
+from repro.dirac.kernels.base import DslashKernel
+from repro.dirac.kernels.registry import register_backend
+
+__all__ = ["ReferenceKernel"]
+
+
+@register_backend("reference")
+class ReferenceKernel(DslashKernel):
+    """Full 4-spinor einsum stencil (the seed implementation)."""
+
+    name = "reference"
+
+    def __init__(self, u, u_dag, geometry):
+        super().__init__(u, u_dag, geometry)
+        self._proj_fwd = tuple(g.IDENTITY - g.GAMMA[mu] for mu in range(4))
+        self._proj_bwd = tuple(g.IDENTITY + g.GAMMA[mu] for mu in range(4))
+
+    @staticmethod
+    def _color_mul(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
+        """``(U psi)(x)`` with ``u`` of shape dims+(3,3), psi (n, dims, 4, 3)."""
+        return np.einsum("xyztab,nxyztsb->nxyztsa", u, psi, optimize=True)
+
+    def hopping(self, phi: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        out = np.zeros_like(phi)
+        for mu in range(4):
+            axis = 1 + mu  # site axes start after the flattened lead axis
+            fwd = np.roll(phi, -1, axis=axis)  # psi(x + mu)
+            out -= 0.5 * g.spin_mul(self._proj_fwd[mu], self._color_mul(self.u[mu], fwd))
+            back = np.roll(self._color_mul(self.u_dag[mu], phi), +1, axis=axis)
+            out -= 0.5 * g.spin_mul(self._proj_bwd[mu], back)
+        return out

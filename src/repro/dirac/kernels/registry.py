@@ -1,0 +1,113 @@
+"""Backend registry and autotuner-driven backend selection.
+
+Mirrors QUDA's policy tuning: every hopping-term implementation registers
+itself under a short name; at operator construction the caller either
+pins a backend explicitly or hands over a :class:`KernelAutotuner`, which
+times each registered backend **on the actual local volume** the first
+time the (kernel, volume, precision, backends) tune key is met and caches
+the winner in the persistent JSON tunecache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.dirac.kernels.base import DslashKernel
+from repro.lattice.geometry import Geometry
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.autotune.kernel import KernelAutotuner, TuneKey
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "make_kernel",
+    "dslash_tune_key",
+    "select_backend",
+]
+
+_REGISTRY: dict[str, type[DslashKernel]] = {}
+
+#: Backend used when no autotuner is supplied.  The half-spinor kernel is
+#: algebraically identical to the reference stencil (same stencil, spin
+#: work halved), so it is the safe-and-fast default.
+DEFAULT_BACKEND = "halfspinor"
+
+
+def register_backend(name: str) -> Callable[[type[DslashKernel]], type[DslashKernel]]:
+    """Class decorator adding a :class:`DslashKernel` to the registry."""
+
+    def deco(cls: type[DslashKernel]) -> type[DslashKernel]:
+        if name in _REGISTRY:
+            raise ValueError(f"dslash backend {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def get_backend(name: str) -> type[DslashKernel]:
+    """Look up a backend class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dslash backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_kernel(name: str, u: np.ndarray, u_dag: np.ndarray, geometry: Geometry) -> DslashKernel:
+    """Instantiate a registered backend on a gauge background."""
+    return get_backend(name)(u, u_dag, geometry)
+
+
+def dslash_tune_key(geometry: Geometry, precision: str = "double", n_rhs: int = 1) -> "TuneKey":
+    """The tune key under which a backend choice is cached.
+
+    Keyed exactly like QUDA's kernel tuning: local volume, precision and
+    an aux string carrying the candidate set (so adding a backend later
+    invalidates stale cached winners) plus the multi-RHS batch width.
+    """
+    from repro.autotune.kernel import TuneKey
+
+    aux = f"nrhs={n_rhs};backends={','.join(available_backends())}"
+    return TuneKey("wilson_hopping", geometry.volume, precision, aux)
+
+
+def select_backend(
+    tuner: "KernelAutotuner",
+    u: np.ndarray,
+    u_dag: np.ndarray,
+    geometry: Geometry,
+    precision: str = "double",
+    n_rhs: int = 1,
+) -> str:
+    """Resolve the fastest backend for this volume via the autotuner.
+
+    On first encounter every registered backend runs on a deterministic
+    random fermion stack of the given batch width; the winner is cached
+    under :func:`dslash_tune_key` (and persists through the tuner's JSON
+    tunecache).  Subsequent calls — including in fresh processes that
+    loaded the tunecache — are pure lookups.
+    """
+    key = dslash_tune_key(geometry, precision=precision, n_rhs=n_rhs)
+    cached = tuner.backend_choice(key)
+    if cached is not None and cached in _REGISTRY:
+        return cached
+    rng = make_rng(geometry.volume)
+    shape = (n_rhs,) + geometry.dims + (4, 3)
+    sample = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    kernels = {name: make_kernel(name, u, u_dag, geometry) for name in available_backends()}
+    candidates = {name: (lambda k=k: k.hopping(sample)) for name, k in kernels.items()}
+    return tuner.tune_backend(key, candidates).backend

@@ -23,7 +23,9 @@ so :meth:`MobiusOperator.apply_dagger` builds the exact adjoint from the
 adjoints of the factors instead (adjoint consistency
 ``<phi, D psi> == <D^H phi, psi>`` is tested for all coefficients).
 
-Fields have shape ``(Ls, Lx, Ly, Lz, Lt, 4, 3)``.
+Fields have shape ``(Ls, Lx, Ly, Lz, Lt, 4, 3)``; arbitrary extra
+leading axes (e.g. a stack of right-hand sides in the multi-RHS solver
+path) are supported — the fifth dimension is always axis ``-7``.
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ class MobiusOperator:
         Mobius coefficients; ``b5 - c5 = 1`` keeps the approach to the
         continuum 5th dimension Shamir-like while ``b5 + c5`` scales the
         effective ``Ls``.
+    backend, tuner:
+        Dslash backend selection for the 4D Wilson kernel, forwarded to
+        :class:`repro.dirac.wilson.WilsonOperator`.
     """
 
     def __init__(
@@ -67,6 +72,8 @@ class MobiusOperator:
         b5: float = 1.5,
         c5: float = 0.5,
         antiperiodic_t: bool = True,
+        backend: str = "auto",
+        tuner=None,
     ):
         if ls < 2:
             raise ValueError(f"ls must be >= 2, got {ls}")
@@ -78,35 +85,59 @@ class MobiusOperator:
         self.m5 = float(m5)
         self.b5 = float(b5)
         self.c5 = float(c5)
-        self.wilson = WilsonOperator(gauge, mass=-m5, antiperiodic_t=antiperiodic_t)
+        self.wilson = WilsonOperator(
+            gauge, mass=-m5, antiperiodic_t=antiperiodic_t, backend=backend, tuner=tuner
+        )
+
+    @property
+    def backend(self) -> str:
+        """Dslash backend of the underlying 4D Wilson kernel."""
+        return self.wilson.backend
+
+    def set_backend(self, name: str) -> None:
+        """Switch the 4D Wilson kernel to a registered dslash backend."""
+        self.wilson.set_backend(name)
 
     @property
     def field_shape(self) -> tuple[int, ...]:
         """Shape of the 5D fermion fields this operator acts on."""
         return (self.ls,) + self.geometry.dims + (4, 3)
 
+    #: Position of the fifth-dimension axis (fields may carry extra
+    #: leading axes, e.g. a multi-RHS stack).
+    S_AXIS = -7
+
     def _check(self, psi: np.ndarray) -> None:
-        if psi.shape != self.field_shape:
-            raise ValueError(f"field shape {psi.shape} != {self.field_shape}")
+        if psi.shape[self.S_AXIS:] != self.field_shape:
+            raise ValueError(
+                f"field tail shape {psi.shape[self.S_AXIS:]} != {self.field_shape}"
+            )
+
+    @staticmethod
+    def _at_s(s: int) -> tuple:
+        """Indexer selecting fifth-dimension slice ``s`` on axis -7."""
+        return (Ellipsis, s) + (slice(None),) * 6
 
     # -- fifth-dimension hopping -------------------------------------------
     def hop5(self, psi: np.ndarray) -> np.ndarray:
         """``L psi``: chirally projected 5th-dimension hopping with mass BC."""
         self._check(psi)
-        up = np.roll(psi, -1, axis=0)  # psi(s+1)
-        up[-1] = -self.mass * psi[0]
-        down = np.roll(psi, +1, axis=0)  # psi(s-1)
-        down[0] = -self.mass * psi[-1]
+        first, last = self._at_s(0), self._at_s(-1)
+        up = np.roll(psi, -1, axis=self.S_AXIS)  # psi(s+1)
+        up[last] = -self.mass * psi[first]
+        down = np.roll(psi, +1, axis=self.S_AXIS)  # psi(s-1)
+        down[first] = -self.mass * psi[last]
         return g.proj_minus(up) + g.proj_plus(down)
 
     def hop5_dagger(self, psi: np.ndarray) -> np.ndarray:
         """``L^H psi``: projectors unchanged, shift directions swapped."""
         self._check(psi)
         conj_m = np.conjugate(self.mass)
-        up = np.roll(psi, -1, axis=0)
-        up[-1] = -conj_m * psi[0]
-        down = np.roll(psi, +1, axis=0)
-        down[0] = -conj_m * psi[-1]
+        first, last = self._at_s(0), self._at_s(-1)
+        up = np.roll(psi, -1, axis=self.S_AXIS)
+        up[last] = -conj_m * psi[first]
+        down = np.roll(psi, +1, axis=self.S_AXIS)
+        down[first] = -conj_m * psi[last]
         return g.proj_minus(down) + g.proj_plus(up)
 
     # -- the Mobius kernels ----------------------------------------------------
@@ -139,7 +170,7 @@ class MobiusOperator:
 
     def reflect(self, psi: np.ndarray) -> np.ndarray:
         """``gamma_5 R psi``: the 5D hermiticity conjugation."""
-        return g.spin_mul(g.GAMMA5, psi[::-1])
+        return g.spin_mul(g.GAMMA5, np.flip(psi, axis=self.S_AXIS))
 
     # -- accounting -----------------------------------------------------------------
     @property

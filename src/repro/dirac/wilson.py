@@ -9,8 +9,14 @@ conditions (folded into the time links).  The operator is
 gamma_5-hermitian: ``D^H = gamma_5 D gamma_5`` (tested).
 
 Fields may carry arbitrary leading axes (e.g. the fifth dimension of the
-domain-wall operator); the four site axes are always the last six axes
-minus spin and colour, i.e. shape ``(..., Lx, Ly, Lz, Lt, 4, 3)``.
+domain-wall operator, or a stack of right-hand sides in the multi-RHS
+solver path); the four site axes are always the last six axes minus spin
+and colour, i.e. shape ``(..., Lx, Ly, Lz, Lt, 4, 3)``.
+
+The hopping term itself is computed by a pluggable *kernel backend*
+(:mod:`repro.dirac.kernels`): the ``reference`` einsum stencil, the
+spin-projected ``halfspinor`` kernels, or whichever backend a
+:class:`repro.autotune.KernelAutotuner` measured fastest on this volume.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dirac import gamma as g
+from repro.dirac import kernels as _kernels
 from repro.dirac.flops import wilson_dslash_flops_per_site
 from repro.lattice.gauge import GaugeField
 
@@ -38,16 +45,57 @@ class WilsonOperator:
     antiperiodic_t:
         Apply antiperiodic temporal boundary conditions (default, the
         physical choice for fermions at finite temporal extent).
+    backend:
+        Dslash backend name, or ``"auto"``: resolve through ``tuner``
+        when one is supplied, else use the registry default
+        (:data:`repro.dirac.kernels.DEFAULT_BACKEND`).
+    tuner:
+        Optional :class:`repro.autotune.KernelAutotuner`.  With
+        ``backend="auto"`` every registered backend is timed on this
+        volume at first encounter and the winner is cached in the
+        tuner's persistent tunecache.
     """
 
-    def __init__(self, gauge: GaugeField, mass: float, antiperiodic_t: bool = True):
+    def __init__(
+        self,
+        gauge: GaugeField,
+        mass: float,
+        antiperiodic_t: bool = True,
+        backend: str = "auto",
+        tuner=None,
+    ):
         self.geometry = gauge.geometry
         self.mass = float(mass)
         self.u = gauge.fermion_links(antiperiodic_t=antiperiodic_t)
         self.u_dag = np.conjugate(np.swapaxes(self.u, -1, -2))
-        # Hopping projectors 1 -+ gamma_mu.
-        self._proj_fwd = tuple(g.IDENTITY - g.GAMMA[mu] for mu in range(4))
-        self._proj_bwd = tuple(g.IDENTITY + g.GAMMA[mu] for mu in range(4))
+        self._kernels: dict[str, _kernels.DslashKernel] = {}
+        if backend == "auto":
+            if tuner is not None:
+                backend = _kernels.select_backend(tuner, self.u, self.u_dag, self.geometry)
+            else:
+                backend = _kernels.DEFAULT_BACKEND
+        self.set_backend(backend)
+
+    # -- backend routing -----------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the dslash backend currently in use."""
+        return self._kernel.name
+
+    def set_backend(self, name: str) -> None:
+        """Switch the hopping term to a registered backend.
+
+        Instantiated backends are kept, so switching back is free (the
+        QUDA analogue: tuned kernel instances persist in the tunecache).
+        """
+        if name not in self._kernels:
+            self._kernels[name] = _kernels.make_kernel(name, self.u, self.u_dag, self.geometry)
+        self._kernel = self._kernels[name]
+
+    @property
+    def kernel(self) -> _kernels.DslashKernel:
+        """The active kernel instance (exposes workspace/statistics)."""
+        return self._kernel
 
     # -- shape handling ------------------------------------------------------
     def _flatten(self, psi: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
@@ -60,11 +108,6 @@ class WilsonOperator:
         lead = psi.shape[:-6]
         return psi.reshape((-1,) + expected_tail), lead
 
-    @staticmethod
-    def _color_mul(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
-        """``(U psi)(x)`` with ``u`` of shape dims+(3,3), psi (n, dims, 4, 3)."""
-        return np.einsum("xyztab,nxyztsb->nxyztsa", u, psi, optimize=True)
-
     # -- the stencil -----------------------------------------------------------
     def hopping(self, psi: np.ndarray) -> np.ndarray:
         """The pure hopping term ``H psi`` (no mass/diagonal piece).
@@ -72,15 +115,8 @@ class WilsonOperator:
         ``H`` strictly couples opposite checkerboard parities — the
         property exploited by the red-black preconditioning.
         """
-        phi, lead = self._flatten(psi)
-        out = np.zeros_like(phi)
-        for mu in range(4):
-            axis = 1 + mu  # site axes start after the flattened lead axis
-            fwd = np.roll(phi, -1, axis=axis)  # psi(x + mu)
-            out -= 0.5 * g.spin_mul(self._proj_fwd[mu], self._color_mul(self.u[mu], fwd))
-            back = np.roll(self._color_mul(self.u_dag[mu], phi), +1, axis=axis)
-            out -= 0.5 * g.spin_mul(self._proj_bwd[mu], back)
-        return out.reshape(psi.shape)
+        phi, _ = self._flatten(psi)
+        return self._kernel.hopping(phi).reshape(psi.shape)
 
     def apply(self, psi: np.ndarray) -> np.ndarray:
         """``D psi``."""

@@ -16,7 +16,13 @@ from repro.solvers.precision import (
     SinglePrecision,
     PRECISIONS,
 )
-from repro.solvers.cg import ConjugateGradient, SolveResult, solve_normal_equations
+from repro.solvers.cg import (
+    BatchedSolveResult,
+    ConjugateGradient,
+    SolveResult,
+    solve_normal_equations,
+    solve_normal_equations_batched,
+)
 from repro.solvers.multiprec import ReliableUpdateCG
 from repro.solvers.bicgstab import BiCGStab
 from repro.solvers.multishift import MultiShiftCG, MultiShiftResult
@@ -37,5 +43,7 @@ __all__ = [
     "ReliableUpdateCG",
     "BiCGStab",
     "SolveResult",
+    "BatchedSolveResult",
     "solve_normal_equations",
+    "solve_normal_equations_batched",
 ]

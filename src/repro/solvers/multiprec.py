@@ -21,7 +21,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.solvers.cg import MatVec, SolveResult, _dot, _norm
+from repro.solvers.cg import (
+    BatchedSolveResult,
+    MatVec,
+    SolveResult,
+    _batch_dot,
+    _batch_norm,
+    _dot,
+    _norm,
+)
 from repro.solvers.precision import DoublePrecision, Precision
 
 __all__ = ["ReliableUpdateCG"]
@@ -135,6 +143,90 @@ class ReliableUpdateCG:
             converged=converged,
             iterations=iterations,
             final_relres=final,
+            flops=flops,
+            residual_history=history,
+            reliable_updates=reliable_updates,
+        )
+
+    def solve_batched(
+        self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> BatchedSolveResult:
+        """Multi-RHS reliable-update CG; RHS index on the leading axis.
+
+        All systems share the stacked operator applications and the
+        reliable-update schedule is synchronized: an inner low-precision
+        cycle runs until every still-active system has either hit its
+        ``delta`` trigger or its tolerance, then one double-precision
+        refresh covers the whole stack.  Converged systems freeze
+        (``alpha = beta = 0``) but keep riding the stacked matvec, which
+        is exactly the amortization trade-off of the paper's multi-RHS
+        setup.
+        """
+        b = np.asarray(b, dtype=np.complex128)
+        k = b.shape[0]
+        lead = (k,) + (1,) * (b.ndim - 1)
+        bnorm = _batch_norm(b)
+        safe_bnorm = np.where(bnorm > 0.0, bnorm, 1.0)
+        target = self.tol * bnorm
+
+        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
+        r_true = b - matvec(x) if x0 is not None else b.copy()
+        flops = k * self.flops_per_matvec if x0 is not None else 0.0
+        iterations = 0
+        reliable_updates = 0
+        history: list[np.ndarray] = []
+
+        anchor = _batch_norm(r_true)
+        converged = anchor <= target
+
+        while iterations < self.max_iter and not bool(converged.all()):
+            prev_anchor = anchor.copy()
+            r = self._truncate(r_true)
+            p = r.copy()
+            x_lo = np.zeros_like(b)
+            rsq = _batch_dot(r, r)
+            active = ~converged
+
+            while iterations < self.max_iter:
+                ap = self._compute(matvec(self._truncate(p)))
+                iterations += 1
+                flops += k * (self.flops_per_matvec + self.blas_flops_per_iter)
+                p_ap = _batch_dot(p, ap)
+                ok = active & (p_ap > 0.0)
+                if not bool(ok.any()):
+                    break
+                alpha = np.where(ok, rsq / np.where(p_ap > 0.0, p_ap, 1.0), 0.0)
+                x_lo = self._truncate(x_lo + alpha.reshape(lead) * p)
+                r = self._truncate(r - alpha.reshape(lead) * ap)
+                new_rsq = _batch_dot(r, r)
+                rnorm = np.sqrt(new_rsq)
+                history.append(rnorm / safe_bnorm)
+                beta = np.where(ok, new_rsq / np.where(rsq > 0.0, rsq, 1.0), 0.0)
+                rsq = new_rsq
+                p = self._truncate(r + beta.reshape(lead) * p)
+                active = ok & (rnorm > self.delta * anchor) & (rnorm > target)
+                if not bool(active.any()):
+                    break
+
+            x += x_lo
+            r_true = b - matvec(x)
+            flops += k * self.flops_per_matvec
+            reliable_updates += 1
+            anchor = _batch_norm(r_true)
+            converged = anchor <= target
+            unconverged = ~converged
+            if bool(unconverged.any()) and bool(
+                np.all(anchor[unconverged] >= prev_anchor[unconverged])
+            ):
+                break  # no unconverged system made progress: breakdown
+
+        true_res = _batch_norm(b - matvec(x)) / safe_bnorm
+        flops += k * self.flops_per_matvec
+        return BatchedSolveResult(
+            x=x,
+            converged=true_res <= self.tol,
+            iterations=iterations,
+            final_relres=true_res,
             flops=flops,
             residual_history=history,
             reliable_updates=reliable_updates,

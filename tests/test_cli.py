@@ -33,6 +33,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "min V100 GPUs" in out
 
+    def test_backends_section(self, capsys):
+        assert main(["--section", "backends"]) == 0
+        out = capsys.readouterr().out
+        assert "Dslash backend autotuning" in out
+        assert "<- selected" in out
+        assert "wilson_hopping|v512" in out
+
     def test_tts_section(self, capsys):
         assert main(["--section", "tts"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Dslash kernel backends: registry, parity with the reference stencil,
+multi-RHS batching, and autotuner-driven backend selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune import KernelAutotuner
+from repro.dirac import WilsonOperator, MobiusOperator
+from repro.dirac import gamma as g
+from repro.dirac.kernels import (
+    DEFAULT_BACKEND,
+    Workspace,
+    available_backends,
+    dslash_tune_key,
+    get_backend,
+    make_kernel,
+    register_backend,
+    select_backend,
+)
+from tests.conftest import random_fermion
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture
+def wilson(gauge_tiny):
+    return WilsonOperator(gauge_tiny, mass=0.2, backend="reference")
+
+
+class TestRegistry:
+    def test_expected_backends_registered(self):
+        assert {"reference", "halfspinor", "halfspinor_einsum"} <= set(BACKENDS)
+
+    def test_default_backend_is_registered(self):
+        assert DEFAULT_BACKEND in BACKENDS
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown dslash backend"):
+            get_backend("no-such-kernel")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("reference")(get_backend("reference"))
+
+    def test_make_kernel_sets_name(self, gauge_tiny):
+        w = WilsonOperator(gauge_tiny, mass=0.1, backend="reference")
+        for name in BACKENDS:
+            k = make_kernel(name, w.u, w.u_dag, w.geometry)
+            assert k.name == name
+
+
+class TestBackendParity:
+    """Every backend must reproduce the reference stencil bit-tight."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hopping_matches_reference(self, gauge_tiny, rng, backend):
+        ref = WilsonOperator(gauge_tiny, mass=0.2, backend="reference")
+        alt = WilsonOperator(gauge_tiny, mass=0.2, backend=backend)
+        psi = random_fermion(rng, gauge_tiny.geometry.dims + (4, 3))
+        np.testing.assert_allclose(
+            alt.hopping(psi), ref.hopping(psi), rtol=1e-12, atol=1e-13
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batched_stack_matches_per_rhs(self, gauge_tiny, rng, backend):
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend=backend)
+        stack = random_fermion(rng, (3,) + gauge_tiny.geometry.dims + (4, 3))
+        batched = w.hopping(stack)
+        for i in range(3):
+            np.testing.assert_allclose(
+                batched[i], w.hopping(stack[i]), rtol=1e-12, atol=1e-13
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gamma5_hermiticity(self, gauge_tiny, rng, backend):
+        w = WilsonOperator(gauge_tiny, mass=0.3, backend=backend)
+        shape = gauge_tiny.geometry.dims + (4, 3)
+        psi, phi = random_fermion(rng, shape), random_fermion(rng, shape)
+        lhs = np.vdot(phi, w.apply(psi))
+        rhs = np.vdot(g.spin_mul(g.GAMMA5, w.apply(g.spin_mul(g.GAMMA5, phi))), psi)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hopping_flips_checkerboard_parity(self, gauge_tiny, rng, backend):
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend=backend)
+        geom = gauge_tiny.geometry
+        even = geom.parity_mask(0)[..., None, None]
+        psi = random_fermion(rng, geom.dims + (4, 3)) * even
+        out = w.hopping(psi)
+        np.testing.assert_allclose(out * even, 0.0, atol=1e-13)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_repeat_application_stable(self, gauge_tiny, rng, backend):
+        """Workspace buffer reuse must not leak state between calls."""
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend=backend)
+        psi = random_fermion(rng, gauge_tiny.geometry.dims + (4, 3))
+        first = w.hopping(psi)
+        second = w.hopping(psi)
+        np.testing.assert_array_equal(first, second)
+
+    def test_mobius_batched_leading_axis(self, gauge_tiny, rng):
+        m = MobiusOperator(gauge_tiny, mass=0.1, m5=1.4, ls=4)
+        stack = random_fermion(rng, (2,) + m.field_shape)
+        batched = m.apply(stack)
+        for i in range(2):
+            np.testing.assert_allclose(
+                batched[i], m.apply(stack[i]), rtol=1e-12, atol=1e-13
+            )
+
+
+class TestBackendSwitching:
+    def test_set_backend_switches_and_caches(self, gauge_tiny, rng):
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend="reference")
+        psi = random_fermion(rng, gauge_tiny.geometry.dims + (4, 3))
+        ref_out = w.hopping(psi)
+        w.set_backend("halfspinor")
+        assert w.backend == "halfspinor"
+        np.testing.assert_allclose(w.hopping(psi), ref_out, rtol=1e-12, atol=1e-13)
+        first_instance = w.kernel
+        w.set_backend("reference")
+        w.set_backend("halfspinor")
+        assert w.kernel is first_instance  # instances persist across switches
+
+    def test_default_backend_without_tuner(self, gauge_tiny):
+        w = WilsonOperator(gauge_tiny, mass=0.2)
+        assert w.backend == DEFAULT_BACKEND
+
+    def test_mobius_and_evenodd_delegate(self, gauge_tiny):
+        m = MobiusOperator(gauge_tiny, mass=0.1, m5=1.4, ls=4, backend="reference")
+        assert m.backend == "reference"
+        m.set_backend("halfspinor")
+        assert m.backend == "halfspinor"
+        assert m.wilson.backend == "halfspinor"
+
+
+class TestWorkspace:
+    def test_buffers_reused_by_shape(self):
+        ws = Workspace()
+        a = ws.get("tmp", (4, 3), np.complex128)
+        b = ws.get("tmp", (4, 3), np.complex128)
+        assert a is b
+        c = ws.get("tmp", (2, 3), np.complex128)
+        assert c is not a
+        assert len(ws) == 2
+        assert ws.nbytes > 0
+        ws.clear()
+        assert len(ws) == 0
+
+
+class TestAutotunedSelection:
+    def test_auto_selection_races_all_backends(self, gauge_tiny):
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend="auto", tuner=tuner)
+        assert w.backend in BACKENDS
+        key = dslash_tune_key(gauge_tiny.geometry)
+        assert tuner.backend_choice(key) == w.backend
+        entry = tuner._backend_cache[key]
+        assert entry.n_candidates == len(BACKENDS)
+        assert set(entry.times) == set(BACKENDS)
+
+    def test_second_operator_is_pure_lookup(self, gauge_tiny):
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        WilsonOperator(gauge_tiny, mass=0.2, backend="auto", tuner=tuner)
+        calls = tuner.tune_calls
+        w2 = WilsonOperator(gauge_tiny, mass=0.5, backend="auto", tuner=tuner)
+        assert tuner.tune_calls == calls  # same volume: cache hit
+        assert w2.backend in BACKENDS
+
+    def test_choice_roundtrips_through_json_tunecache(self, gauge_tiny, tmp_path):
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend="auto", tuner=tuner)
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+
+        fresh = KernelAutotuner(rng=1, launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        choice = select_backend(
+            fresh, w.u, w.u_dag, gauge_tiny.geometry
+        )
+        assert choice == w.backend
+        assert fresh.tune_calls == 0  # served entirely from the loaded cache
+
+    def test_tune_key_encodes_volume_and_batch(self, gauge_tiny, geom_small):
+        k1 = dslash_tune_key(gauge_tiny.geometry)
+        k2 = dslash_tune_key(geom_small)
+        k3 = dslash_tune_key(gauge_tiny.geometry, n_rhs=12)
+        assert k1 != k2 and k1 != k3
+        assert "nrhs=12" in k3.aux

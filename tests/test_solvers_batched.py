@@ -1,0 +1,213 @@
+"""Multi-RHS lock-step solves: batched CG, batched CGNE, batched
+reliable-update CG, and the batched propagator paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contractions.propagator import (
+    compute_propagator,
+    compute_wilson_propagator,
+    point_source_5d,
+    solve_5d,
+    solve_5d_batched,
+)
+from repro.dirac import EvenOddMobius, MobiusOperator, WilsonOperator
+from repro.solvers import (
+    BatchedSolveResult,
+    ConjugateGradient,
+    HalfPrecision,
+    ReliableUpdateCG,
+    solve_normal_equations_batched,
+)
+
+
+def _spd_system(seed: int, n: int = 30, cond: float = 100.0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return (q * eigs) @ q.conj().T
+
+
+def _batch_matvec(a):
+    n = len(a)
+    return lambda v: (v.reshape(-1, n) @ a.T).reshape(v.shape)
+
+
+class TestBatchedCG:
+    def test_matches_per_rhs_scalar_solves(self):
+        a = _spd_system(0)
+        rng = np.random.default_rng(1)
+        k, n = 4, len(a)
+        x_true = rng.normal(size=(k, n)) + 1j * rng.normal(size=(k, n))
+        b = _batch_matvec(a)(x_true)
+        solver = ConjugateGradient(tol=1e-12, max_iter=500)
+        res = solver.solve_batched(_batch_matvec(a), b)
+        assert isinstance(res, BatchedSolveResult)
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+        for i in range(k):
+            scalar = solver.solve(_batch_matvec(a), b[i : i + 1])
+            np.testing.assert_allclose(res.x[i], scalar.x[0], atol=1e-8)
+
+    def test_converged_is_per_rhs(self):
+        """A hard system in the stack must not mask an easy one."""
+        a = _spd_system(2, cond=1e8)
+        rng = np.random.default_rng(3)
+        n = len(a)
+        b = rng.normal(size=(2, n)) + 0j
+        res = ConjugateGradient(tol=1e-13, max_iter=4).solve_batched(
+            _batch_matvec(a), b
+        )
+        assert res.converged.shape == (2,)
+        assert not res.all_converged
+
+    def test_zero_rhs_rows_converge_trivially(self):
+        a = _spd_system(4)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(3, len(a))) + 0j
+        b[1] = 0.0
+        res = ConjugateGradient(tol=1e-10, max_iter=200).solve_batched(
+            _batch_matvec(a), b
+        )
+        assert bool(res.converged[1])
+        assert np.abs(res.x[1]).max() == 0.0
+        assert bool(res.converged[0]) and bool(res.converged[2])
+
+    def test_exact_x0_stack_converges_in_zero_iterations(self):
+        a = _spd_system(6)
+        rng = np.random.default_rng(7)
+        x_true = rng.normal(size=(3, len(a))) + 0j
+        b = _batch_matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-10).solve_batched(
+            _batch_matvec(a), b, x0=x_true
+        )
+        assert res.all_converged
+        assert res.iterations == 0
+
+    def test_split_gives_per_rhs_results(self):
+        a = _spd_system(8)
+        rng = np.random.default_rng(9)
+        b = rng.normal(size=(2, len(a))) + 0j
+        res = ConjugateGradient(tol=1e-10, max_iter=300).solve_batched(
+            _batch_matvec(a), b
+        )
+        parts = res.split()
+        assert len(parts) == 2
+        for i, p in enumerate(parts):
+            assert p.converged == bool(res.converged[i])
+            np.testing.assert_array_equal(p.x, res.x[i])
+            assert p.final_relres == float(res.final_relres[i])
+            assert len(p.residual_history) == len(res.residual_history)
+
+    def test_flop_accounting_scales_with_stack(self):
+        a = _spd_system(10)
+        rng = np.random.default_rng(11)
+        k = 3
+        b = rng.normal(size=(k, len(a))) + 0j
+        solver = ConjugateGradient(
+            tol=1e-10, max_iter=300, flops_per_matvec=100.0, blas_flops_per_iter=10.0
+        )
+        res = solver.solve_batched(_batch_matvec(a), b)
+        expected = k * (res.iterations * 110.0 + 100.0)
+        assert res.flops == pytest.approx(expected)
+
+
+class TestBatchedCGNE:
+    def test_nonhermitian_stack(self):
+        rng = np.random.default_rng(12)
+        n, k = 24, 3
+        a = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)) + 4.0 * np.eye(n)
+        x_true = rng.normal(size=(k, n)) + 0j
+        b = (x_true @ a.T).reshape(k, n)
+        res = solve_normal_equations_batched(
+            _batch_matvec(a),
+            _batch_matvec(a.conj().T),
+            b,
+            ConjugateGradient(tol=1e-12, max_iter=500),
+        )
+        assert res.all_converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-7)
+        assert np.all(res.final_relres < 1e-8)
+
+    def test_reports_original_system_residual_per_rhs(self):
+        rng = np.random.default_rng(13)
+        n, k = 16, 2
+        a = rng.normal(size=(n, n)) + 5.0 * np.eye(n) + 0j
+        b = rng.normal(size=(k, n)) + 0j
+        res = solve_normal_equations_batched(
+            _batch_matvec(a),
+            _batch_matvec(a.conj().T),
+            b,
+            ConjugateGradient(tol=1e-10, max_iter=300),
+        )
+        for i in range(k):
+            direct = np.linalg.norm(b[i] - a @ res.x[i]) / np.linalg.norm(b[i])
+            assert res.final_relres[i] == pytest.approx(direct, rel=1e-6)
+
+
+class TestBatchedReliableUpdate:
+    def test_converges_and_matches_scalar(self):
+        a = _spd_system(14, cond=50.0)
+        rng = np.random.default_rng(15)
+        k = 3
+        b = rng.normal(size=(k, len(a))) + 1j * rng.normal(size=(k, len(a)))
+        solver = ReliableUpdateCG(
+            inner_precision=HalfPrecision(), tol=1e-8, max_iter=2000
+        )
+        res = solver.solve_batched(_batch_matvec(a), b)
+        assert res.all_converged
+        assert res.reliable_updates >= 1
+        assert np.all(res.final_relres <= 1e-8)
+        scalar = solver.solve(_batch_matvec(a), b[0:1])
+        np.testing.assert_allclose(res.x[0], scalar.x[0], atol=1e-6)
+
+    def test_zero_stack_trivial(self):
+        a = _spd_system(16)
+        solver = ReliableUpdateCG(inner_precision=HalfPrecision(), tol=1e-8)
+        res = solver.solve_batched(
+            _batch_matvec(a), np.zeros((2, len(a)), dtype=complex)
+        )
+        assert res.all_converged
+        assert res.iterations == 0
+
+
+class TestBatchedPropagators:
+    def test_wilson_batched_equals_scalar(self, gauge_tiny):
+        w = WilsonOperator(gauge_tiny, mass=0.3)
+        solver = ConjugateGradient(tol=1e-9, max_iter=2000)
+        p_scalar, r_scalar = compute_wilson_propagator(w, (1, 0, 1, 2), solver)
+        p_batch, r_batch = compute_wilson_propagator(
+            w, (1, 0, 1, 2), solver, batched=True
+        )
+        assert len(r_batch) == 12
+        assert all(r.converged for r in r_batch)
+        np.testing.assert_allclose(p_batch.data, p_scalar.data, atol=1e-7)
+
+    def test_mobius_batched_equals_scalar(self, gauge_tiny):
+        m = MobiusOperator(gauge_tiny, ls=4, mass=0.1, m5=1.4)
+        solver = ConjugateGradient(tol=1e-9, max_iter=2000)
+        p_scalar, _ = compute_propagator(m, (0, 1, 0, 1), solver)
+        p_batch, r_batch = compute_propagator(m, (0, 1, 0, 1), solver, batched=True)
+        assert all(r.converged for r in r_batch)
+        np.testing.assert_allclose(p_batch.data, p_scalar.data, atol=1e-7)
+
+    def test_solve_5d_batched_matches_scalar(self, gauge_tiny, rng):
+        m = MobiusOperator(gauge_tiny, ls=4, mass=0.1, m5=1.4)
+        eo = EvenOddMobius(m)
+        solver = ConjugateGradient(tol=1e-9, max_iter=2000)
+        sources = np.stack(
+            [point_source_5d(m, (0, 0, 0, t), t % 4, t % 3) for t in range(3)]
+        )
+        x_batch, res = solve_5d_batched(m, sources, solver, eo)
+        assert res.all_converged
+        for i in range(3):
+            x_i, _ = solve_5d(m, sources[i], solver, eo)
+            np.testing.assert_allclose(x_batch[i], x_i, atol=1e-7)
+        # reported residuals are for the full unpreconditioned system
+        for i in range(3):
+            direct = np.linalg.norm(
+                (sources[i] - m.apply(x_batch[i])).ravel()
+            ) / np.linalg.norm(sources[i].ravel())
+            assert res.final_relres[i] == pytest.approx(direct, rel=1e-6, abs=1e-12)

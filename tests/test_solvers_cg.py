@@ -42,6 +42,25 @@ class TestCG:
         res = ConjugateGradient(tol=1e-10).solve(_matvec(a), b, x0=x_true)
         assert res.final_relres < 1e-10
 
+    def test_initial_guess_exact_reports_converged(self):
+        """Regression: an exact x0 must not trip the breakdown branch.
+
+        Previously ``r = 0`` made ``p_ap <= 0`` fire with an empty
+        history and the solve reported ``converged=False``.
+        """
+        a, x_true = _spd_system(2)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-10).solve(_matvec(a), b, x0=x_true)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_converged_reflects_true_residual(self):
+        a, x_true = _spd_system(9)
+        b = _matvec(a)(x_true)
+        res = ConjugateGradient(tol=1e-11, max_iter=500).solve(_matvec(a), b)
+        assert res.converged
+        assert res.final_relres <= 4e-11
+
     def test_max_iter_respected(self):
         a, x_true = _spd_system(3, cond=1e6)
         b = _matvec(a)(x_true)
