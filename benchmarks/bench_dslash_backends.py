@@ -17,12 +17,14 @@ half-spinor backend beats the reference stencil)::
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.comm.bench import host_metadata
 from repro.dirac import WilsonOperator, available_backends
 from repro.lattice import GaugeField, Geometry
 from repro.utils.rng import make_rng
@@ -50,8 +52,22 @@ def _best_of(fn, repeats: int = REPEATS) -> float:
     return best
 
 
-def run(volumes=VOLUMES, repeats: int = REPEATS) -> dict:
-    results: dict = {"n_rhs": N_RHS, "repeats": repeats, "volumes": {}}
+def run(
+    volumes=VOLUMES,
+    repeats: int = REPEATS,
+    ranks: int = 1,
+    policy: str = "blocking",
+) -> dict:
+    """Race the backends; ``ranks > 1`` additionally times the stacked
+    hopping through the decomposition runtime under ``policy``."""
+    results: dict = {
+        "host": host_metadata(),
+        "n_rhs": N_RHS,
+        "repeats": repeats,
+        "ranks": ranks,
+        "policy": policy,
+        "volumes": {},
+    }
     for label, dims in volumes:
         geom = Geometry(*dims)
         gauge = GaugeField.random(geom, make_rng(55), scale=0.35)
@@ -79,7 +95,7 @@ def run(volumes=VOLUMES, repeats: int = REPEATS) -> dict:
         t_single = per_backend[w.backend]["time_s"]
         ref = per_backend["reference"]["time_s"]
         half = per_backend["halfspinor"]["time_s"]
-        results["volumes"][label] = {
+        entry = {
             "backends": per_backend,
             "speedup_halfspinor_vs_reference": ref / half,
             "batched": {
@@ -89,6 +105,20 @@ def run(volumes=VOLUMES, repeats: int = REPEATS) -> dict:
                 "amortization_vs_single": (N_RHS * t_single) / t_stacked,
             },
         }
+        if ranks > 1 and dims[0] % ranks == 0:
+            from repro.comm.distributed import DecompRuntime
+
+            with DecompRuntime(
+                gauge, 0.1, ranks=ranks, policy=policy, max_rhs=N_RHS
+            ) as rt:
+                t_dist = _best_of(lambda: rt.hopping(stack), repeats)
+            entry["distributed"] = {
+                "ranks": ranks,
+                "policy": policy,
+                "time_s_stacked": t_dist,
+                "speedup_vs_serial_stacked": t_stacked / t_dist,
+            }
+        results["volumes"][label] = entry
     return results
 
 
@@ -122,6 +152,21 @@ def test_halfspinor_beats_reference(report):
 
 
 if __name__ == "__main__":
-    out = write_report()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="also time the stacked hopping through this many worker ranks",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["blocking", "pairwise", "overlap"],
+        default="blocking",
+        help="executed halo policy for the distributed timing",
+    )
+    args = parser.parse_args()
+    out = run(ranks=args.ranks, policy=args.policy)
+    OUTPUT.write_text(json.dumps(out, indent=1, sort_keys=True))
     print(json.dumps(out, indent=1, sort_keys=True))
     print(f"\nwrote {OUTPUT}")

@@ -6,9 +6,20 @@ portability across GPU generations, but ... always use the optimum
 communication strategy regardless of the machine topology and node count
 we are deployed on" — Section V.
 
-The tuner evaluates every policy available on the machine through the
-solver performance model and caches the winner per (machine, lattice,
-``Ls``, GPU count).
+Two tuning modes share one result schema:
+
+* :meth:`CommPolicyTuner.tune` ranks every policy available on a
+  *modeled* machine through the solver performance model (``source ==
+  "model"``); and
+* :meth:`CommPolicyTuner.tune_measured` races the *executable* subset
+  wall-clock through the real decomposition runtime
+  (:class:`repro.comm.distributed.DecompRuntime`), timing actual halo
+  exchanges between worker ranks (``source == "measured"``).
+
+Both cache the winner — per (machine, lattice, ``Ls``, GPU count) for
+the model, per (lattice, ranks, rhs width) for measurements, the latter
+optionally persisted through a :class:`~repro.autotune.kernel.KernelAutotuner`
+tunecache so a fresh process never re-races.
 """
 
 from __future__ import annotations
@@ -24,10 +35,16 @@ __all__ = ["CommPolicyTuner", "CommTuneResult"]
 
 @dataclass(frozen=True)
 class CommTuneResult:
-    """Outcome of one communication-policy tuning."""
+    """Outcome of one communication-policy tuning.
+
+    ``source`` records where the timings came from: ``"model"`` for the
+    performance-model ranking, ``"measured"`` for a wall-clock race of
+    the executed runtime.
+    """
 
     best: CommPolicy
     times: dict[CommPolicy, float]
+    source: str = "model"
 
     @property
     def speedup_vs_worst(self) -> float:
@@ -64,7 +81,96 @@ class CommPolicyTuner:
             for policy in available_policies(machine)
         }
         best = min(times, key=times.get)
-        result = CommTuneResult(best=best, times=times)
+        result = CommTuneResult(best=best, times=times, source="model")
+        self._cache[key] = result
+        return result
+
+    def tune_measured(
+        self,
+        gauge,
+        mass: float,
+        *,
+        ranks: int,
+        n_rhs: int = 4,
+        transports: tuple[str, ...] = ("threads",),
+        tuner=None,
+        timeout: float = 60.0,
+        seed: int = 0,
+    ) -> CommTuneResult:
+        """Race executable policies wall-clock on the real runtime.
+
+        One :class:`~repro.comm.distributed.DecompRuntime` is stood up
+        per transport; the three halo schedules are raced on it against
+        a random ``n_rhs``-wide spinor stack (warm-up plus best-of-k
+        timed hoppings, QUDA's noise-suppression strategy).  Schedules a
+        geometry cannot run (overlap needs local extent >= 2 along every
+        partitioned direction) are skipped rather than failed.
+
+        Pass ``tuner`` (a :class:`~repro.autotune.kernel.KernelAutotuner`)
+        to persist the race through its tunecache; a throwaway tuner is
+        used otherwise.  Results are keyed by the *modeled* policy each
+        executed combination corresponds to, so measured and modeled
+        rankings are directly comparable.
+        """
+        from repro.autotune.kernel import KernelAutotuner, TuneKey
+        from repro.comm.distributed import DecompRuntime
+        from repro.comm.exchange import EXECUTED_POLICIES
+        from repro.utils.rng import make_rng
+
+        geom = gauge.geometry
+        key = ("measured", tuple(geom.dims), ranks, n_rhs, tuple(transports))
+        if key in self._cache:
+            return self._cache[key]
+        if tuner is None:
+            tuner = KernelAutotuner()
+        tkey = TuneKey(
+            kernel="halo_policy",
+            volume=geom.volume,
+            precision="complex128",
+            aux=f"ranks{ranks}|rhs{n_rhs}|{'+'.join(transports)}",
+        )
+        rng = make_rng(seed)
+        psi = rng.normal(size=(n_rhs,) + geom.dims + (4, 3)) + 1j * rng.normal(
+            size=(n_rhs,) + geom.dims + (4, 3)
+        )
+        runtimes: list[DecompRuntime] = []
+        try:
+            candidates = {}
+            for transport in transports:
+                rt = DecompRuntime(
+                    gauge,
+                    mass,
+                    ranks=ranks,
+                    transport=transport,
+                    policy="blocking",
+                    max_rhs=n_rhs,
+                    timeout=timeout,
+                )
+                runtimes.append(rt)
+                for schedule in EXECUTED_POLICIES:
+                    if (
+                        schedule == "overlap"
+                        and rt.grid.partitioned
+                        and rt.grid.min_partitioned_extent() < 2
+                    ):
+                        continue
+
+                    def thunk(rt=rt, schedule=schedule):
+                        if rt.policy != schedule:
+                            rt.set_policy(schedule)
+                        rt.hopping(psi)
+
+                    candidates[f"{transport}/{schedule}"] = thunk
+            entry = tuner.tune_comm_policy(tkey, candidates)
+        finally:
+            for rt in runtimes:
+                rt.close()
+        times = {
+            CommPolicy.from_executed(*name.split("/")): t
+            for name, t in entry.times.items()
+        }
+        best = CommPolicy.from_executed(*entry.backend.split("/"))
+        result = CommTuneResult(best=best, times=times, source="measured")
         self._cache[key] = result
         return result
 

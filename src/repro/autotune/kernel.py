@@ -15,6 +15,7 @@ be saved to / loaded from a JSON tunecache.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -116,6 +117,7 @@ class KernelAutotuner:
         self.launches = launches_per_candidate
         self._cache: dict[TuneKey, TuneEntry] = {}
         self._backend_cache: dict[TuneKey, BackendEntry] = {}
+        self._comm_cache: dict[TuneKey, BackendEntry] = {}
         self.tune_calls = 0
         self.lookup_hits = 0
 
@@ -211,11 +213,20 @@ class KernelAutotuner:
         through :meth:`save`/:meth:`load`, so a fresh process that
         loaded the tunecache never re-times anything.
         """
-        if key in self._backend_cache:
+        return self._race(self._backend_cache, key, candidates)
+
+    def _race(
+        self,
+        cache: dict[TuneKey, BackendEntry],
+        key: TuneKey,
+        candidates: Mapping[str, Callable[[], Any]],
+    ) -> BackendEntry:
+        """Shared best-of-k wall-clock race behind one of the caches."""
+        if key in cache:
             self.lookup_hits += 1
-            return self._backend_cache[key]
+            return cache[key]
         if not candidates:
-            raise ValueError("need at least one backend candidate")
+            raise ValueError("need at least one candidate to race")
         self.tune_calls += 1
         times: dict[str, float] = {}
         for name, thunk in candidates.items():
@@ -233,7 +244,7 @@ class KernelAutotuner:
             times=times,
             n_candidates=len(times),
         )
-        self._backend_cache[key] = entry
+        cache[key] = entry
         return entry
 
     def backend_choice(self, key: TuneKey) -> str | None:
@@ -241,26 +252,100 @@ class KernelAutotuner:
         entry = self._backend_cache.get(key)
         return entry.backend if entry is not None else None
 
+    # -- measured communication policies -----------------------------------
+    def tune_comm_policy(
+        self, key: TuneKey, candidates: Mapping[str, Callable[[], Any]]
+    ) -> BackendEntry:
+        """Race executed halo-exchange policies; cache under ``"comm"``.
+
+        Identical mechanics to :meth:`tune_backend` (warm-up, best-of-k,
+        persisted winner) over candidate names like
+        ``"threads/blocking"`` — the executed counterpart of the modeled
+        :class:`repro.autotune.comm.CommPolicyTuner` ranking.
+        """
+        return self._race(self._comm_cache, key, candidates)
+
+    def comm_choice(self, key: TuneKey) -> str | None:
+        """Cached measured comm-policy winner (``None`` if never raced)."""
+        entry = self._comm_cache.get(key)
+        return entry.backend if entry is not None else None
+
     def __contains__(self, key: TuneKey) -> bool:
-        return key in self._cache or key in self._backend_cache
+        return key in self._cache or key in self._backend_cache or key in self._comm_cache
 
     def __len__(self) -> int:
-        return len(self._cache) + len(self._backend_cache)
+        return len(self._cache) + len(self._backend_cache) + len(self._comm_cache)
 
     # -- persistence ----------------------------------------------------------------
+    #: a lock file untouched for this long is considered abandoned by a
+    #: dead process and is broken (seconds)
+    LOCK_STALE_S = 10.0
+    #: how long save() waits for a live lock before giving up
+    LOCK_TIMEOUT_S = 5.0
+
     def save(self, path: str | Path) -> None:
         """Write the tunecache as JSON (QUDA's profile file analogue).
 
-        Format version 2: launch-parameter entries under ``"kernels"``
-        and backend-race winners under ``"backends"``.  Version-1 files
-        (a flat key-to-entry map) are still readable.
+        Format version 3: launch-parameter entries under ``"kernels"``,
+        backend-race winners under ``"backends"`` and measured
+        comm-policy winners under ``"comm"``.  Version-2 files and
+        version-1 files (a flat key-to-entry map) are still readable.
+
+        The write is process-safe: the payload lands in a temporary file
+        that is atomically renamed over the target (readers never see a
+        torn file), serialized by a sidecar ``.lock`` file.  A lock left
+        behind by a dead process (older than :attr:`LOCK_STALE_S`) is
+        broken rather than waited on, so one crashed worker can never
+        wedge the cache for everyone else.
         """
         payload = {
-            "version": 2,
+            "version": 3,
             "kernels": {k.as_string(): asdict(v) for k, v in self._cache.items()},
             "backends": {k.as_string(): asdict(v) for k, v in self._backend_cache.items()},
+            "comm": {k.as_string(): asdict(v) for k, v in self._comm_cache.items()},
         }
-        Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+        path = Path(path)
+        lock = self._acquire_lock(path)
+        try:
+            tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            self._release_lock(lock)
+
+    def _acquire_lock(self, path: Path) -> Path | None:
+        lock = path.with_name(path.name + ".lock")
+        deadline = time.monotonic() + self.LOCK_TIMEOUT_S
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                return lock
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except FileNotFoundError:
+                    continue  # holder just released; retry immediately
+                if age > self.LOCK_STALE_S:
+                    try:  # break the abandoned lock
+                        lock.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    # Proceed unlocked rather than lose the tunings: the
+                    # atomic rename still guarantees an untorn file.
+                    return None
+                time.sleep(0.01)
+
+    @staticmethod
+    def _release_lock(lock: Path | None) -> None:
+        if lock is not None:
+            try:
+                lock.unlink()
+            except FileNotFoundError:  # pragma: no cover - already broken
+                pass
 
     def load(self, path: str | Path) -> int:
         """Merge a saved tunecache; returns the number of entries loaded."""
@@ -268,10 +353,13 @@ class KernelAutotuner:
         if "version" in payload:
             kernels = payload.get("kernels", {})
             backends = payload.get("backends", {})
+            comm = payload.get("comm", {})
         else:  # legacy flat format
-            kernels, backends = payload, {}
+            kernels, backends, comm = payload, {}, {}
         for ks, ent in kernels.items():
             self._cache[TuneKey.from_string(ks)] = TuneEntry(**ent)
         for ks, ent in backends.items():
             self._backend_cache[TuneKey.from_string(ks)] = BackendEntry(**ent)
-        return len(kernels) + len(backends)
+        for ks, ent in comm.items():
+            self._comm_cache[TuneKey.from_string(ks)] = BackendEntry(**ent)
+        return len(kernels) + len(backends) + len(comm)

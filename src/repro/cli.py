@@ -122,6 +122,46 @@ def _backends() -> str:
     return table + "\n" + cache_note
 
 
+def _comm() -> str:
+    """Modeled and measured comm-policy rankings side by side."""
+    from repro.autotune.comm import CommPolicyTuner
+    from repro.lattice import GaugeField, Geometry
+    from repro.utils.rng import make_rng
+
+    tuner = CommPolicyTuner()
+
+    modeled = tuner.tune(MACHINES["sierra"], (48, 48, 48, 64), 20, 64)
+    model_rows = [
+        (p.name, f"{t * 1e3:.3f}", "<- best" if p == modeled.best else "")
+        for p, t in modeled.ranking()
+    ]
+    model_table = format_table(
+        ["policy", "ms/iteration (modeled)", ""],
+        model_rows,
+        title="Comm policies, modeled: Sierra 48^3x64x20 on 64 GPUs",
+    )
+
+    geom = Geometry(4, 6, 2, 8)
+    gauge = GaugeField.random(geom, make_rng(55), scale=0.35)
+    measured = tuner.tune_measured(gauge, 0.1, ranks=2, n_rhs=2)
+    meas_rows = [
+        (p.name, f"{t * 1e3:.2f}", "<- best" if p == measured.best else "")
+        for p, t in measured.ranking()
+    ]
+    meas_table = format_table(
+        ["policy", "ms/hopping (measured)", ""],
+        meas_rows,
+        title="Comm policies, measured: 4x6x2x8 on 2 worker ranks",
+    )
+    note = (
+        f"modeled winner: {modeled.best.name} "
+        f"({modeled.speedup_vs_worst:.2f}x vs worst, source={modeled.source}); "
+        f"measured winner: {measured.best.name} "
+        f"({measured.speedup_vs_worst:.2f}x vs worst, source={measured.source})"
+    )
+    return model_table + "\n\n" + meas_table + "\n" + note
+
+
 def _tts() -> str:
     from repro.perfmodel import CampaignSpec, time_to_solution
     from repro.workflow.speedup import TITAN_CAMPAIGN_NODES
@@ -153,7 +193,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=["all", "table1", "table2", "table3", "headlines", "memory", "backends", "tts"],
+        choices=[
+            "all", "table1", "table2", "table3", "headlines",
+            "memory", "backends", "comm", "tts",
+        ],
         default="all",
     )
     parser.add_argument("--version", action="version", version=__version__)
@@ -166,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
         "headlines": _headlines,
         "memory": _memory,
         "backends": _backends,
+        "comm": _comm,
         "tts": _tts,
     }
     chosen = sections.values() if args.section == "all" else [sections[args.section]]

@@ -106,7 +106,22 @@ class _HalfSpinorBase(DslashKernel):
         np.multiply(uh[..., proj.rsel, :], proj.rcoef, out=rtmp)
         out[..., 2:4, :] += rtmp
 
-    def _color_mul(self, mu: int, dagger: bool, h: np.ndarray, out: np.ndarray) -> None:
+    def _color_mul(
+        self,
+        mu: int,
+        dagger: bool,
+        h: np.ndarray,
+        out: np.ndarray,
+        sites: tuple | None = None,
+    ) -> None:
+        """``out = U h`` (or ``U^H h``) on the half field.
+
+        ``sites`` optionally restricts the links to a sub-volume (a
+        4-tuple of site-axis slices) so the distributed overlap policy
+        can recompute boundary slabs; the per-element operation chain is
+        identical to the full-volume call, keeping slab recomputation
+        bitwise-consistent with it.
+        """
         raise NotImplementedError
 
     # -- the stencil --------------------------------------------------------
@@ -160,8 +175,17 @@ class HalfSpinorKernel(_HalfSpinorBase):
         self._u_comp = tuple(split(u, mu) for mu in range(4))
         self._udag_comp = tuple(split(u_dag, mu) for mu in range(4))
 
-    def _color_mul(self, mu: int, dagger: bool, h: np.ndarray, out: np.ndarray) -> None:
+    def _color_mul(
+        self,
+        mu: int,
+        dagger: bool,
+        h: np.ndarray,
+        out: np.ndarray,
+        sites: tuple | None = None,
+    ) -> None:
         comp = (self._udag_comp if dagger else self._u_comp)[mu]
+        if sites is not None:
+            comp = tuple(tuple(c[sites] for c in row) for row in comp)
         tmp = self.workspace.get("cmul_tmp", h.shape[:-1])
         for a in range(3):
             oa = out[..., a]
@@ -182,8 +206,17 @@ class HalfSpinorEinsumKernel(_HalfSpinorBase):
         super().__init__(u, u_dag, geometry)
         self._paths: dict[tuple[int, ...], list] = {}
 
-    def _color_mul(self, mu: int, dagger: bool, h: np.ndarray, out: np.ndarray) -> None:
+    def _color_mul(
+        self,
+        mu: int,
+        dagger: bool,
+        h: np.ndarray,
+        out: np.ndarray,
+        sites: tuple | None = None,
+    ) -> None:
         links = (self.u_dag if dagger else self.u)[mu]
+        if sites is not None:
+            links = np.ascontiguousarray(links[sites])
         path = self._paths.get(h.shape)
         if path is None:
             path = np.einsum_path(_COLOR_MUL, links, h, optimize="optimal")[0]

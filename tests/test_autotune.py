@@ -156,3 +156,92 @@ class TestCommPolicyTuner:
         # at minimum, verify the table of times varies with n
         spreads = [r.speedup_vs_worst for r in results.values()]
         assert max(spreads) > 1.01
+
+
+class TestTunecacheV3:
+    """Process-safe persistence: comm section, atomic writes, locking."""
+
+    def _tuner_with_comm_entry(self):
+        tuner = KernelAutotuner(launches_per_candidate=1)
+        key = TuneKey("halo_policy", 512, "complex128", "ranks2|rhs2|threads")
+        tuner.tune_comm_policy(
+            key, {"threads/blocking": lambda: None, "threads/pairwise": lambda: None}
+        )
+        return tuner, key
+
+    def test_comm_section_roundtrip(self, tmp_path):
+        tuner, key = self._tuner_with_comm_entry()
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+        fresh = KernelAutotuner()
+        assert fresh.load(path) == 1
+        assert fresh.comm_choice(key) == tuner.comm_choice(key)
+        assert fresh.comm_choice(key) in ("threads/blocking", "threads/pairwise")
+
+    def test_version_3_payload(self, tmp_path):
+        import json
+
+        tuner, _ = self._tuner_with_comm_entry()
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 3
+        assert set(payload) == {"version", "kernels", "backends", "comm"}
+
+    def test_save_leaves_no_litter(self, tmp_path):
+        """Atomic rename: no temp or lock files survive a save."""
+        tuner, _ = self._tuner_with_comm_entry()
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["tunecache.json"]
+
+    def test_stale_lock_broken(self, tmp_path):
+        """A lock abandoned by a dead process must not wedge saves."""
+        import os
+
+        tuner, _ = self._tuner_with_comm_entry()
+        path = tmp_path / "tunecache.json"
+        lock = tmp_path / "tunecache.json.lock"
+        lock.write_text("99999")
+        old = os.stat(lock).st_mtime - KernelAutotuner.LOCK_STALE_S - 1
+        os.utime(lock, (old, old))
+        tuner.save(path)  # must not block for LOCK_TIMEOUT_S
+        assert path.exists()
+        assert not lock.exists()
+
+    def test_live_lock_timeout_still_saves(self, tmp_path, monkeypatch):
+        """Waiting out a live lock degrades to an unlocked (still atomic)
+        write rather than an error."""
+        monkeypatch.setattr(KernelAutotuner, "LOCK_TIMEOUT_S", 0.05)
+        tuner, _ = self._tuner_with_comm_entry()
+        path = tmp_path / "tunecache.json"
+        (tmp_path / "tunecache.json.lock").write_text("1")  # fresh = live
+        tuner.save(path)
+        assert path.exists()
+
+
+class TestMeasuredCommTuning:
+    def test_measured_race_through_runtime(self):
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 6, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        tuner = CommPolicyTuner()
+        res = tuner.tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        )
+        assert res.source == "measured"
+        assert all(p.executable for p in res.times)
+        assert res.best == res.ranking()[0][0]
+        assert res.speedup_vs_worst >= 1.0
+        # cached: same object back, no re-race
+        assert tuner.tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        ) is res
+
+    def test_modeled_result_tagged(self):
+        tuner = CommPolicyTuner()
+        res = tuner.tune(get_machine("sierra"), (48, 48, 48, 64), 20, 16)
+        assert res.source == "model"

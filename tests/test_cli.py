@@ -40,6 +40,15 @@ class TestCli:
         assert "<- selected" in out
         assert "wilson_hopping|v512" in out
 
+    def test_comm_section_reports_both_rankings(self, capsys):
+        assert main(["--section", "comm"]) == 0
+        out = capsys.readouterr().out
+        assert "Comm policies, modeled" in out
+        assert "Comm policies, measured" in out
+        assert "source=model" in out
+        assert "source=measured" in out
+        assert "<- best" in out
+
     def test_tts_section(self, capsys):
         assert main(["--section", "tts"]) == 0
         out = capsys.readouterr().out

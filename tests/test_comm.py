@@ -84,7 +84,7 @@ class TestPolicies:
         sierra = get_machine("sierra")
         pols = available_policies(sierra)
         assert all(p.path is not TransferPath.GDR for p in pols)
-        assert len(pols) == 4  # 2 paths x 2 granularities
+        assert len(pols) == 6  # 2 paths x 3 granularities
 
     def test_latency_ordering(self):
         lat = {p: CommPolicy(p, HaloGranularity.FUSED).latency_s for p in TransferPath}

@@ -1,0 +1,180 @@
+"""Distributed operators vs serial: bitwise parity under every knob.
+
+The decomposition runtime must *reproduce*, not approximate: hopping,
+Wilson apply, and the Schur ops are required to match the single-process
+operators bit for bit on any rank grid, any transport, any policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.decomp import RankGrid
+from repro.comm.distributed import (
+    DecompRuntime,
+    DistributedEvenOddOperator,
+    DistributedWilsonOperator,
+    _RankContext,
+)
+from repro.comm.shm import FabricSpec, ThreadShared
+from repro.dirac.evenodd_wilson import EvenOddWilson
+from repro.dirac.wilson import WilsonOperator
+from repro.lattice import GaugeField, Geometry
+from repro.utils.rng import make_rng
+
+MASS = 0.12
+
+
+def _background(dims, seed=21):
+    geom = Geometry(*dims)
+    gauge = GaugeField.random(geom, make_rng(seed), scale=0.35)
+    rng = np.random.default_rng(5)
+    shape = (2,) + geom.dims + (4, 3)
+    psi = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return gauge, psi
+
+
+@pytest.mark.parametrize("dims", [(8, 4, 2, 8), (4, 6, 2, 8)])
+@pytest.mark.parametrize("ranks", [2, 4, 8])
+def test_hopping_and_apply_bitwise(dims, ranks):
+    if dims[0] % ranks:
+        pytest.skip(f"{ranks} ranks do not divide Lx={dims[0]}")
+    gauge, psi = _background(dims)
+    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
+    with DistributedWilsonOperator(
+        gauge, MASS, ranks=ranks, backend="halfspinor", timeout=60.0
+    ) as op:
+        assert np.array_equal(op.runtime.hopping(psi), serial.hopping(psi))
+        assert np.array_equal(op.apply(psi), serial.apply(psi))
+
+
+@pytest.mark.parametrize("policy", ["blocking", "pairwise", "overlap"])
+def test_policies_all_bitwise(policy):
+    gauge, psi = _background((4, 6, 2, 8))
+    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
+    with DistributedWilsonOperator(
+        gauge, MASS, ranks=2, backend="halfspinor", policy=policy, timeout=60.0
+    ) as op:
+        assert np.array_equal(op.apply(psi), serial.apply(psi))
+
+
+def test_overlap_equals_blocking_bitwise():
+    """Regression: the interior/boundary split must change nothing."""
+    gauge, psi = _background((8, 4, 2, 8))
+    with DistributedWilsonOperator(
+        gauge, MASS, ranks=4, backend="halfspinor", policy="blocking", timeout=60.0
+    ) as op:
+        blocking = op.apply(psi)
+        op.runtime.set_policy("overlap")
+        overlap = op.apply(psi)
+    assert np.array_equal(blocking, overlap)
+
+
+def test_processes_transport_bitwise():
+    """Spawned shared-memory workers agree with the serial operator."""
+    gauge, psi = _background((4, 6, 2, 8))
+    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
+    with DistributedWilsonOperator(
+        gauge,
+        MASS,
+        ranks=2,
+        transport="processes",
+        backend="halfspinor",
+        timeout=120.0,
+    ) as op:
+        assert np.array_equal(op.apply(psi), serial.apply(psi))
+
+
+def test_evenodd_schur_ops_bitwise():
+    gauge, psi = _background((8, 4, 2, 8))
+    eo = EvenOddWilson(WilsonOperator(gauge, MASS, backend="halfspinor"))
+    x = eo.restrict(psi, 0)
+    with DistributedEvenOddOperator(
+        gauge, MASS, ranks=4, backend="halfspinor", timeout=60.0
+    ) as op:
+        assert np.array_equal(op.schur_apply(x), eo.schur_apply(x))
+        assert np.array_equal(op.schur_dagger_apply(x), eo.schur_dagger_apply(x))
+        assert np.array_equal(op.prepare_rhs(psi), eo.prepare_rhs(psi))
+
+
+def test_overlap_needs_thick_slabs():
+    gauge, _ = _background((8, 4, 2, 8))
+    with pytest.raises(ValueError, match="local extent"):
+        DecompRuntime(gauge, MASS, ranks=8, policy="overlap")
+
+
+# -- checkerboard-packed Schur fast path ------------------------------------
+
+
+def _single_rank_context(dims):
+    geom = Geometry(*dims)
+    gauge = GaugeField.random(geom, make_rng(21), scale=0.35)
+    u = gauge.fermion_links(antiperiodic_t=True)
+    grid = RankGrid.make(dims, (1, 1, 1, 1))
+    spec = FabricSpec(
+        n_ranks=1,
+        local_dims=grid.local_dims,
+        partitioned=grid.partitioned,
+        n_max=4,
+        reduce_rows=dims[0],
+        timeout=30.0,
+    )
+    shared = ThreadShared(spec)
+    return _RankContext(
+        0, grid, shared.make_fabric(0), u, MASS, "halfspinor", "blocking"
+    )
+
+
+@pytest.mark.parametrize("dims", [(8, 8, 8, 16), (4, 6, 2, 8)])
+def test_cb_packed_path_bitwise(dims):
+    """The checkerboard-packed hopping/Schur chain is pure data movement:
+    bit-identical to the full-field chain on the nonzero parity."""
+    ctx = _single_rank_context(dims)
+    cb = ctx.cb
+    assert cb is not None
+    rng = np.random.default_rng(3)
+    shape = (2,) + dims + (4, 3)
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    for parity in (0, 1):
+        xr = ctx.eo.restrict(x, parity)
+        # pack/unpack roundtrip is exact
+        z = np.zeros_like(xr)
+        cb.st.unpack(cb.st.pack(xr, 0), cb.st.pack(xr, 1), z)
+        assert np.array_equal(z, xr)
+        # hopping lands on the opposite parity, bit-identical
+        full = np.array(ctx.stencil.hopping(xr), copy=True)
+        hp = cb.st.hopping(cb.pack(xr, parity), parity)
+        assert np.array_equal(hp, cb.st.pack(full, 1 - parity))
+
+    xe = ctx.eo.restrict(x, 0)
+    s_full = np.array(ctx.eo.schur_fast(xe), copy=True)
+    assert np.array_equal(cb.schur_fast(cb.pack(xe, 0)), cb.st.pack(s_full, 0))
+    d_full = np.array(ctx.eo.schur_dagger_fast(xe), copy=True)
+    assert np.array_equal(
+        cb.schur_dagger_fast(cb.pack(xe, 0)), cb.st.pack(d_full, 0)
+    )
+
+
+def test_cb_ineligible_when_t_partitioned():
+    """Packing along t requires t unpartitioned and even global extents."""
+    dims = (4, 6, 2, 8)
+    geom = Geometry(*dims)
+    gauge = GaugeField.random(geom, make_rng(21), scale=0.35)
+    u = gauge.fermion_links(antiperiodic_t=True)
+    grid = RankGrid.make(dims, (1, 1, 1, 2))
+    spec = FabricSpec(
+        n_ranks=2,
+        local_dims=grid.local_dims,
+        partitioned=grid.partitioned,
+        n_max=4,
+        reduce_rows=dims[0],
+        timeout=30.0,
+    )
+    shared = ThreadShared(spec)
+    blocks = grid.scatter(u, site_axis=1)
+    ctx = _RankContext(
+        0, grid, shared.make_fabric(0), blocks[0], MASS, "halfspinor", "blocking"
+    )
+    assert ctx.cb is None
