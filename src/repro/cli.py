@@ -162,6 +162,13 @@ def _comm() -> str:
     return model_table + "\n\n" + meas_table + "\n" + note
 
 
+def _campaign() -> str:
+    """Executed-vs-modeled scheduling cross-validation (Section V)."""
+    from repro.runtime.report import campaign_section
+
+    return campaign_section()
+
+
 def _tts() -> str:
     from repro.perfmodel import CampaignSpec, time_to_solution
     from repro.workflow.speedup import TITAN_CAMPAIGN_NODES
@@ -195,7 +202,7 @@ def main(argv: list[str] | None = None) -> int:
         "--section",
         choices=[
             "all", "table1", "table2", "table3", "headlines",
-            "memory", "backends", "comm", "tts",
+            "memory", "backends", "comm", "campaign", "tts",
         ],
         default="all",
     )
@@ -210,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         "memory": _memory,
         "backends": _backends,
         "comm": _comm,
+        "campaign": _campaign,
         "tts": _tts,
     }
     chosen = sections.values() if args.section == "all" else [sections[args.section]]

@@ -4,16 +4,25 @@ Plays the role of the HDF5 files in the paper's workflow: one file holds
 named complex arrays (gauge links, propagators, correlators) plus a JSON
 header with provenance metadata.  Format:
 
-``MAGIC (8 bytes) | header-length (8 bytes LE) | JSON header | raw arrays``
+``MAGIC (8) | header-length (8 LE) | header-crc32 (4 LE) | JSON header |
+raw arrays``
 
 Arrays are stored C-contiguous little-endian; the header records name,
-dtype, shape and byte offset of each.  Integrity is protected by a CRC32
-per array, checked on load.
+dtype, shape and byte offset of each.  Integrity is protected end to
+end: a CRC32 over the JSON header (format v2) plus a CRC32 per array,
+both checked on load, and truncated files are reported as such.  Writes
+are crash-safe and concurrent-writer-safe: the container is assembled in
+a same-directory temp file, fsynced, then atomically renamed over the
+destination (the tunecache v3 pattern), so readers only ever observe a
+complete old or complete new file — never a torn mix of two writers.
+
+Format v1 (``REPROLQ1``, no header CRC) is still read.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from pathlib import Path
 from typing import Any
@@ -22,7 +31,8 @@ import numpy as np
 
 __all__ = ["FieldFile"]
 
-_MAGIC = b"REPROLQ1"
+_MAGIC = b"REPROLQ2"
+_MAGIC_V1 = b"REPROLQ1"
 
 
 class FieldFile:
@@ -79,24 +89,53 @@ class FieldFile:
             offset += len(blob)
         header = json.dumps({"metadata": self.metadata, "arrays": entries}).encode()
         path = Path(path)
-        with path.open("wb") as f:
-            f.write(_MAGIC)
-            f.write(len(header).to_bytes(8, "little"))
-            f.write(header)
-            for blob in blobs:
-                f.write(blob)
+        # Atomic rename-on-write: assemble in a same-directory temp file
+        # (os.replace is only atomic within one filesystem), fsync, then
+        # swap it in.  Concurrent writers race benignly — last rename
+        # wins with a complete file; a crash leaves the old file intact.
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as f:
+                f.write(_MAGIC)
+                f.write(len(header).to_bytes(8, "little"))
+                f.write((zlib.crc32(header) & 0xFFFFFFFF).to_bytes(4, "little"))
+                f.write(header)
+                for blob in blobs:
+                    f.write(blob)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path.stat().st_size
 
     @classmethod
     def load(cls, path: str | Path) -> "FieldFile":
-        """Read a container, verifying magic and checksums."""
+        """Read a container, verifying magic, length and checksums."""
         raw = Path(path).read_bytes()
-        if raw[:8] != _MAGIC:
+        magic = raw[:8]
+        if magic not in (_MAGIC, _MAGIC_V1):
             raise ValueError(f"{path}: not a FieldFile (bad magic)")
         hlen = int.from_bytes(raw[8:16], "little")
-        header = json.loads(raw[16 : 16 + hlen].decode())
+        base = 16
+        if magic == _MAGIC:
+            hcrc = int.from_bytes(raw[16:20], "little")
+            base = 20
+        hdr_bytes = raw[base : base + hlen]
+        if len(hdr_bytes) < hlen:
+            raise ValueError(f"{path}: truncated FieldFile (header incomplete)")
+        if magic == _MAGIC and (zlib.crc32(hdr_bytes) & 0xFFFFFFFF) != hcrc:
+            raise ValueError(f"{path}: header checksum mismatch (corrupt file)")
+        header = json.loads(hdr_bytes.decode())
         out = cls(header.get("metadata", {}))
-        base = 16 + hlen
+        base += hlen
+        payload = sum(ent["nbytes"] for ent in header["arrays"])
+        if len(raw) < base + payload:
+            raise ValueError(
+                f"{path}: truncated FieldFile "
+                f"({len(raw)} bytes < {base + payload} expected)"
+            )
         for ent in header["arrays"]:
             blob = raw[base + ent["offset"] : base + ent["offset"] + ent["nbytes"]]
             if (zlib.crc32(blob) & 0xFFFFFFFF) != ent["crc32"]:

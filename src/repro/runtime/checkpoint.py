@@ -1,0 +1,63 @@
+"""Per-task solver checkpoints on disk.
+
+One checkpoint file per task id, atomically replaced on every save (the
+:class:`repro.io.container.FieldFile` write path), so the newest
+complete state always survives a worker kill.  Corruption — a truncated
+or bit-flipped file, including the deliberately injected kind — is
+detected by the container's checksums at load; the corrupt file is
+quarantined aside (for the post-mortem) and the task transparently
+restarts from scratch, which is still bitwise-reproducible because every
+solve here is deterministic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Checkpoint directory layout and safe load semantics."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, task_id: str) -> Path:
+        return self.root / f"{task_id}.ckpt.lq"
+
+    def exists(self, task_id: str) -> bool:
+        return self.path_for(task_id).exists()
+
+    def load_fieldfile(self, task_id: str):
+        """The task's checkpoint as a FieldFile, or None.
+
+        Returns None both when no checkpoint exists and when the file is
+        corrupt; in the latter case the bad file is renamed to
+        ``*.corrupt`` so a retry starts clean and the evidence is kept.
+        """
+        from repro.io.container import FieldFile
+
+        path = self.path_for(task_id)
+        if not path.exists():
+            return None
+        try:
+            return FieldFile.load(path)
+        except (ValueError, KeyError, OSError):
+            quarantine = path.with_suffix(path.suffix + ".corrupt")
+            path.replace(quarantine)
+            return None
+
+    def discard(self, task_id: str) -> None:
+        """Remove a completed task's checkpoint (it served its purpose)."""
+        self.path_for(task_id).unlink(missing_ok=True)
+
+    def corrupt(self, task_id: str, keep_bytes: int = 64) -> bool:
+        """Truncate a checkpoint in place (deterministic fault injection)."""
+        path = self.path_for(task_id)
+        if not path.exists():
+            return False
+        raw = path.read_bytes()
+        path.write_bytes(raw[: min(keep_bytes, len(raw))])
+        return True

@@ -1,0 +1,446 @@
+"""Task executors: the real physics behind every campaign task kind.
+
+These run *inside worker processes*.  Each executor is a pure function
+of (params, dependency artifacts on disk) -> (artifacts on disk): no
+hidden state, every random draw seeded from params — so any completed
+task is bitwise-reproducible no matter which worker ran it, how often it
+was retried, or whether a solve resumed from a checkpoint (the
+:class:`repro.solvers.cg.CGState` resume is bit-exact).  That determinism
+is what lets the campaign-level tests demand bitwise-equal final
+correlators across fault-free, fault-injected and ledger-resumed runs.
+
+Task kinds (the paper's Fig. 2 menu):
+
+=================  =======================================================
+``make_gauge``     seeded weak-field configuration -> ``links``
+``gauge_fix``      Coulomb gauge relaxation -> ``links``
+``smear_sources``  12 covariantly smeared point sources -> ``sources``
+``propagator``     12-column Wilson CGNE solve, checkpointed -> ``prop``
+``seq_solve``      through-the-sink sequential solve -> ``prop``
+``contraction``    pion/proton/FH correlators (CPU-cheap) -> ``corr``
+``assemble``       gather all correlators into one container
+``sleep``/``poison``  scheduling/fault-path test stubs (no physics)
+=================  =======================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.io.container import FieldFile
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.faults import FaultSpec
+
+__all__ = [
+    "ExecContext",
+    "ArtifactStore",
+    "execute_task",
+    "verify_artifacts",
+    "EXECUTORS",
+]
+
+
+class ArtifactStore:
+    """Flat artifact directory addressed by ``task_id:name`` refs."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, ref: str) -> Path:
+        if ":" not in ref:
+            raise ValueError(f"artifact ref {ref!r} is not 'task_id:name'")
+        task_id, name = ref.split(":", 1)
+        return self.root / f"{task_id}.{name}.lq"
+
+    def save(self, task_id: str, name: str, ff: FieldFile) -> str:
+        ref = f"{task_id}:{name}"
+        ff.save(self.path(ref))
+        return ref
+
+    def load(self, ref: str) -> FieldFile:
+        return FieldFile.load(self.path(ref))
+
+    def exists(self, ref: str) -> bool:
+        return self.path(ref).exists()
+
+
+@dataclass
+class ExecContext:
+    """Everything an executor may touch besides its params."""
+
+    task_id: str
+    attempt: int
+    store: ArtifactStore
+    ckpt: CheckpointManager
+    fault: FaultSpec | None = None
+    emit: Callable[..., None] = lambda ev, **kw: None
+    die: Callable[[], None] = lambda: None  # enact a worker death
+    n_checkpoints: int = field(default=0, init=False)
+
+    def checkpoint_saved(self) -> None:
+        """Bookkeeping + scripted-fault trigger after each checkpoint.
+
+        The checkpoint hits disk *before* any injected death — that
+        ordering is the whole point: the retry finds a complete state.
+        """
+        self.n_checkpoints += 1
+        self.emit(
+            "checkpoint_saved", task=self.task_id, n=self.n_checkpoints
+        )
+        f = self.fault
+        if (
+            f is not None
+            and f.armed(self.attempt)
+            and f.kind in ("kill_worker", "corrupt_checkpoint")
+            and self.n_checkpoints == f.at_checkpoint
+        ):
+            if f.kind == "corrupt_checkpoint":
+                self.ckpt.corrupt(self.task_id)
+            self.emit("fault_injected", task=self.task_id, kind=f.kind)
+            self.die()
+
+
+# -- artifact helpers -------------------------------------------------------
+
+
+def _save_gauge(ctx: ExecContext, name: str, gauge) -> str:
+    ff = FieldFile({"dims": list(gauge.geometry.dims)})
+    ff.add("links", gauge.u)
+    return ctx.store.save(ctx.task_id, name, ff)
+
+
+def _load_gauge(ctx: ExecContext, ref: str):
+    from repro.lattice import GaugeField, Geometry
+
+    ff = ctx.store.load(ref)
+    dims = tuple(ff.metadata["dims"])
+    return GaugeField(Geometry(*dims), ff["links"].reshape((4,) + dims + (3, 3)))
+
+
+def _save_prop(ctx: ExecContext, name: str, prop) -> str:
+    ff = FieldFile({"source": list(prop.source)})
+    ff.add("data", prop.data)
+    return ctx.store.save(ctx.task_id, name, ff)
+
+
+def _load_prop(ctx: ExecContext, ref: str):
+    from repro.contractions import Propagator
+
+    ff = ctx.store.load(ref)
+    return Propagator(ff["data"], tuple(ff.metadata["source"]))
+
+
+# -- executors --------------------------------------------------------------
+
+
+def _exec_make_gauge(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.lattice import GaugeField, Geometry
+    from repro.utils.rng import make_rng
+
+    geom = Geometry(*params["dims"])
+    gauge = GaugeField.random(
+        geom, make_rng(int(params["seed"])), scale=float(params.get("scale", 0.35))
+    )
+    return {"links": _save_gauge(ctx, "links", gauge)}
+
+
+def _exec_gauge_fix(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.lattice.gaugefix import GaugeFixer
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    fixer = GaugeFixer(
+        gauge_type=params.get("gauge_type", "coulomb"),
+        tol=float(params.get("tol", 1e-4)),
+        max_iter=int(params.get("max_iter", 60)),
+    )
+    fixed = gauge.copy()
+    result = fixer.fix(fixed)
+    ref = _save_gauge(ctx, "links", fixed)
+    ctx.emit(
+        "gauge_fixed",
+        task=ctx.task_id,
+        iterations=result.iterations,
+        residual=result.residual,
+    )
+    return {"links": ref}
+
+
+def _exec_smear_sources(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.contractions import GaussianSmearing, point_source
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    geom = gauge.geometry
+    site = tuple(params.get("site", (0, 0, 0, 0)))
+    smear = GaussianSmearing(
+        gauge,
+        alpha=float(params.get("alpha", 0.25)),
+        n_iter=int(params.get("n_iter", 6)),
+    )
+    stack = np.stack(
+        [
+            smear.apply(point_source(geom, site, spin, color))
+            for spin in range(4)
+            for color in range(3)
+        ]
+    )
+    ff = FieldFile({"site": list(site)})
+    ff.add("sources", stack)
+    return {"sources": ctx.store.save(ctx.task_id, "sources", ff)}
+
+
+def _prop_ckpt_save(
+    ctx: ExecContext,
+    data: np.ndarray,
+    column: int,
+    cg_state,
+    totals: dict[str, float],
+) -> None:
+    """One atomic file holding the partial propagator + in-flight CG state."""
+    ff = FieldFile(
+        {
+            "kind": "prop_ckpt",
+            "column": column,
+            "iterations": totals["iterations"],
+            "flops": totals["flops"],
+            "has_state": cg_state is not None,
+            "state_scalars": (
+                {
+                    "rsq": cg_state.rsq,
+                    "bnorm": cg_state.bnorm,
+                    "iteration": cg_state.iteration,
+                    "flops": cg_state.flops,
+                }
+                if cg_state is not None
+                else {}
+            ),
+        }
+    )
+    ff.add("data", data)
+    if cg_state is not None:
+        ff.add("state_x", cg_state.x)
+        ff.add("state_r", cg_state.r)
+        ff.add("state_p", cg_state.p)
+        ff.add("state_history", np.asarray(cg_state.history, dtype=np.float64))
+    ff.save(ctx.ckpt.path_for(ctx.task_id))
+
+
+def _prop_ckpt_load(ctx: ExecContext, shape: tuple[int, ...]):
+    """(partial data, next column, resume CGState | None, totals)."""
+    from repro.solvers.cg import CGState
+
+    ff = ctx.ckpt.load_fieldfile(ctx.task_id)
+    if ff is None or ff.metadata.get("kind") != "prop_ckpt":
+        return None
+    md = ff.metadata
+    data = ff["data"].reshape(shape)
+    state = None
+    if md.get("has_state"):
+        sc = md["state_scalars"]
+        vec_shape = shape[:4] + (4, 3)
+        state = CGState(
+            x=ff["state_x"].reshape(vec_shape),
+            r=ff["state_r"].reshape(vec_shape),
+            p=ff["state_p"].reshape(vec_shape),
+            rsq=float(sc["rsq"]),
+            bnorm=float(sc["bnorm"]),
+            iteration=int(sc["iteration"]),
+            flops=float(sc["flops"]),
+            history=[float(h) for h in ff["state_history"]],
+        )
+    totals = {"iterations": int(md["iterations"]), "flops": float(md["flops"])}
+    return data, int(md["column"]), state, totals
+
+
+def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.contractions import Propagator, point_source
+    from repro.dirac.wilson import WilsonOperator
+    from repro.solvers.cg import ConjugateGradient, solve_normal_equations
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    geom = gauge.geometry
+    wilson = WilsonOperator(gauge, mass=float(params["mass"]))
+    site = tuple(params.get("site", (0, 0, 0, 0)))
+    solver = ConjugateGradient(
+        tol=float(params.get("tol", 1e-8)),
+        max_iter=int(params.get("max_iter", 4000)),
+    )
+    ck_every = int(params.get("checkpoint_every", 0))
+
+    if "sources" in params and params["sources"]:
+        src_ff = ctx.store.load(params["sources"])
+        sources = src_ff["sources"].reshape((12,) + geom.dims + (4, 3))
+    else:
+        sources = np.stack(
+            [
+                point_source(geom, site, spin, color)
+                for spin in range(4)
+                for color in range(3)
+            ]
+        )
+
+    shape = geom.dims + (4, 4, 3, 3)
+    data = np.zeros(shape, dtype=np.complex128)
+    start_col = 0
+    resume_state = None
+    totals = {"iterations": 0, "flops": 0.0}
+    restored = _prop_ckpt_load(ctx, shape)
+    if restored is not None:
+        data, start_col, resume_state, totals = restored
+        ctx.emit(
+            "checkpoint_restored",
+            task=ctx.task_id,
+            column=start_col,
+            iteration=0 if resume_state is None else resume_state.iteration,
+        )
+
+    for col in range(start_col, 12):
+        spin, color = divmod(col, 3)
+
+        def on_checkpoint(st, col=col):
+            _prop_ckpt_save(ctx, data, col, st, totals)
+            ctx.checkpoint_saved()
+
+        res = solve_normal_equations(
+            wilson.apply,
+            wilson.apply_dagger,
+            sources[col],
+            solver,
+            state=resume_state,
+            checkpoint_every=ck_every,
+            on_checkpoint=on_checkpoint if ck_every else None,
+        )
+        resume_state = None
+        if not res.converged:
+            raise RuntimeError(
+                f"{ctx.task_id}: column {col} did not converge "
+                f"(relres {res.final_relres:.2e})"
+            )
+        data[..., :, spin, :, color] = res.x
+        totals["iterations"] += res.iterations
+        totals["flops"] += res.flops
+        if ck_every and col < 11:
+            # Column-boundary checkpoint: completed columns never re-solve.
+            _prop_ckpt_save(ctx, data, col + 1, None, totals)
+            ctx.checkpoint_saved()
+
+    prop = Propagator(data, site)
+    ref = _save_prop(ctx, "prop", prop)
+    ctx.ckpt.discard(ctx.task_id)
+    ctx.emit(
+        "solve_done",
+        task=ctx.task_id,
+        iterations=totals["iterations"],
+        flops=totals["flops"],
+    )
+    return {"prop": ref}
+
+
+def _exec_seq_solve(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.contractions import sequential_propagator
+    from repro.dirac.wilson import WilsonOperator
+    from repro.solvers.cg import ConjugateGradient
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    prop = _load_prop(ctx, params["prop"])
+    wilson = WilsonOperator(gauge, mass=float(params["mass"]))
+    solver = ConjugateGradient(
+        tol=float(params.get("tol", 1e-8)),
+        max_iter=int(params.get("max_iter", 4000)),
+    )
+    seq = sequential_propagator(
+        wilson, prop, int(params["t_snk"]), solver=solver
+    )
+    return {"prop": _save_prop(ctx, "prop", seq)}
+
+
+def _exec_contraction(params: dict, ctx: ExecContext) -> dict[str, str]:
+    from repro.contractions import (
+        pion_correlator,
+        pion_three_point,
+        pion_two_point_matrix,
+        proton_correlator,
+    )
+    from repro.dirac import gamma as g
+
+    ff = FieldFile({"label": params.get("label", ctx.task_id)})
+    if "prop" in params:
+        prop = _load_prop(ctx, params["prop"])
+        ff.add("pion", np.asarray(pion_correlator(prop), dtype=np.float64))
+        ff.add("proton", np.asarray(proton_correlator(prop, prop)))
+    if "prop_a" in params and "prop_b" in params:
+        pa = _load_prop(ctx, params["prop_a"])
+        pb = _load_prop(ctx, params["prop_b"])
+        ff.add("pion_ab", np.asarray(pion_two_point_matrix(pa, pb)))
+    if "seq" in params and "prop" in params:
+        seq = _load_prop(ctx, params["seq"])
+        prop = _load_prop(ctx, params["prop"])
+        ff.add(
+            "axial_3pt",
+            np.asarray(pion_three_point(seq, prop, g.GAMMA[2] @ g.GAMMA5)),
+        )
+    return {"corr": ctx.store.save(ctx.task_id, "corr", ff)}
+
+
+def _exec_assemble(params: dict, ctx: ExecContext) -> dict[str, str]:
+    out = FieldFile({"labels": sorted(params["correlators"])})
+    for label in sorted(params["correlators"]):
+        src = ctx.store.load(params["correlators"][label])
+        for name in src.names():
+            out.add(f"{label}/{name}".replace("/", "__"), src[name])
+    return {"correlators": ctx.store.save(ctx.task_id, "correlators", out)}
+
+
+def _exec_sleep(params: dict, ctx: ExecContext) -> dict[str, str]:
+    """Pure-duration task for scheduling tests (no physics, no solver)."""
+    time.sleep(float(params.get("seconds", 0.01)))
+    ff = FieldFile({"slept": float(params.get("seconds", 0.01))})
+    ff.add("token", np.asarray([1.0]))
+    return {"token": ctx.store.save(ctx.task_id, "token", ff)}
+
+
+def _exec_poison(params: dict, ctx: ExecContext) -> dict[str, str]:
+    raise RuntimeError(params.get("message", "poison task"))
+
+
+EXECUTORS: dict[str, Callable[[dict, ExecContext], dict[str, str]]] = {
+    "make_gauge": _exec_make_gauge,
+    "gauge_fix": _exec_gauge_fix,
+    "smear_sources": _exec_smear_sources,
+    "propagator": _exec_propagator,
+    "seq_solve": _exec_seq_solve,
+    "contraction": _exec_contraction,
+    "assemble": _exec_assemble,
+    "sleep": _exec_sleep,
+    "poison": _exec_poison,
+}
+
+
+def execute_task(kind: str, params: dict, ctx: ExecContext) -> dict[str, str]:
+    """Dispatch to an executor, enacting pre-execution scripted faults."""
+    if kind not in EXECUTORS:
+        raise ValueError(f"unknown task kind {kind!r}")
+    f = ctx.fault
+    if f is not None and f.armed(ctx.attempt):
+        if f.kind == "stall":
+            ctx.emit("fault_injected", task=ctx.task_id, kind="stall")
+            time.sleep(f.stall_s)
+        elif f.kind == "raise":
+            ctx.emit("fault_injected", task=ctx.task_id, kind="raise")
+            raise RuntimeError(f"injected fault on {ctx.task_id}")
+    return EXECUTORS[kind](params, ctx)
+
+
+def verify_artifacts(store: ArtifactStore, artifacts: dict[str, str]) -> bool:
+    """True when every artifact exists and passes its checksums."""
+    for ref in artifacts.values():
+        try:
+            store.load(ref)
+        except (ValueError, KeyError, OSError, FileNotFoundError):
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""Deterministic fault injection for the campaign runtime.
+
+Production fault tolerance is only trustworthy if the fault paths are
+exercised on purpose: the paper's own runs lost whole lumps to stray
+``MPI_Abort`` calls and restarted from METAQ's task directory.  A
+:class:`FaultPlan` scripts such events exactly — *which* task, at
+*which* checkpoint, on *which* attempt — so tests and CI replay the same
+failure every time.
+
+Fault kinds
+-----------
+``kill_worker``
+    The worker process calls ``os._exit`` immediately after saving its
+    ``at_checkpoint``-th solver checkpoint: a hard SIGKILL-style death
+    mid-solve, with a valid checkpoint on disk.  (Thread-pool fabrics
+    simulate the death by unwinding the worker loop.)
+``corrupt_checkpoint``
+    Like ``kill_worker``, but the checkpoint file is truncated before
+    dying — the retry must *detect* the damage and recompute from
+    scratch rather than resume from garbage.
+``stall``
+    The task blocks for ``stall_s`` seconds, tripping the driver's task
+    timeout; the driver kills the worker and requeues.
+``raise``
+    The executor raises ``RuntimeError`` (a poison task); with
+    ``times >= max_attempts`` it exercises quarantine.
+
+Faults arm only while ``attempt <= times`` (default: the first attempt),
+so the default retry heals the campaign — which is the property under
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FaultSpec", "FaultPlan", "WorkerKilled"]
+
+FAULT_KINDS = ("kill_worker", "corrupt_checkpoint", "stall", "raise")
+
+
+class WorkerKilled(BaseException):
+    """Thread-fabric stand-in for a worker process dying.
+
+    Derives from ``BaseException`` so ordinary executor error handling
+    cannot swallow it — like a real SIGKILL, nothing in the task's code
+    path gets a say.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault on one task."""
+
+    kind: str
+    at_checkpoint: int = 1
+    stall_s: float = 5.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {FAULT_KINDS}")
+        if self.at_checkpoint < 1:
+            raise ValueError("at_checkpoint must be >= 1")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def armed(self, attempt: int) -> bool:
+        return attempt <= self.times
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at_checkpoint": self.at_checkpoint,
+            "stall_s": self.stall_s,
+            "times": self.times,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=d["kind"],
+            at_checkpoint=int(d.get("at_checkpoint", 1)),
+            stall_s=float(d.get("stall_s", 5.0)),
+            times=int(d.get("times", 1)),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> tuple[str, "FaultSpec"]:
+        """Parse the CLI form ``kind:task_id[:at_checkpoint]``."""
+        parts = text.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                f"fault spec {text!r}: expected kind:task_id[:at_checkpoint]"
+            )
+        kind, task_id = parts[0], parts[1]
+        at = int(parts[2]) if len(parts) > 2 else 1
+        return task_id, cls(kind=kind, at_checkpoint=at)
+
+
+@dataclass
+class FaultPlan:
+    """Task id -> scripted fault; serializable into worker messages."""
+
+    specs: dict[str, FaultSpec] = field(default_factory=dict)
+
+    def get(self, task_id: str) -> FaultSpec | None:
+        return self.specs.get(task_id)
+
+    def to_json(self) -> dict[str, Any]:
+        return {tid: s.to_json() for tid, s in self.specs.items()}
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any] | None) -> "FaultPlan":
+        d = d or {}
+        return cls({tid: FaultSpec.from_json(s) for tid, s in d.items()})

@@ -1,0 +1,119 @@
+"""Write-ahead task ledger: the campaign's crash-safe source of truth.
+
+Every state transition is appended to ``ledger.jsonl`` — one JSON object
+per line, flushed and fsynced *before* the driver acts on it — so a
+campaign killed at any instant (power loss, allocation timeout, an
+``MPI_Abort`` taking the whole lump down) can be resumed by replaying
+the file.  The production analogue is METAQ's task directory, whose
+``todo/working/done`` moves are exactly a filesystem-backed WAL.
+
+Replay tolerates a truncated final line (the torn write of the crash
+itself) and reduces the event stream to per-task facts: status, attempt
+count, artifacts of completed tasks.  Anything that was RUNNING at the
+crash simply has no terminal event and is requeued on resume — its
+solver checkpoints (if any) make the requeue cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.tasks import TaskStatus
+
+__all__ = ["TaskLedger", "LedgerState", "replay_ledger"]
+
+
+class TaskLedger:
+    """Append-only JSON-lines writer with fsync-per-record durability."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._f = self.path.open("a", encoding="utf-8")
+
+    def record(self, ev: str, **fields: Any) -> None:
+        """Durably append one event before the caller proceeds."""
+        rec = {"ev": ev, "t": time.time(), **fields}
+        self._f.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self) -> "TaskLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class LedgerState:
+    """The reduction of a ledger replay.
+
+    ``campaign`` holds the most recent ``campaign_start`` record —
+    policy, worker count, graph fingerprint and the builder spec needed
+    to rebuild the identical :class:`repro.runtime.tasks.TaskGraph`.
+    """
+
+    campaign: dict[str, Any] = field(default_factory=dict)
+    status: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    artifacts: dict[str, dict[str, str]] = field(default_factory=dict)
+    finished: bool = False
+    events: int = 0
+
+    def done_tasks(self) -> set[str]:
+        return {t for t, s in self.status.items() if s == TaskStatus.DONE}
+
+    def quarantined_tasks(self) -> set[str]:
+        return {t for t, s in self.status.items() if s == TaskStatus.QUARANTINED}
+
+
+def replay_ledger(path: str | Path) -> LedgerState:
+    """Reduce a ledger file to per-task facts (crash-tolerant)."""
+    st = LedgerState()
+    path = Path(path)
+    if not path.exists():
+        return st
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            # A torn final line is the expected signature of a crash
+            # mid-append; everything before it is intact and fsynced.
+            continue
+        st.events += 1
+        ev = rec.get("ev")
+        tid = rec.get("task")
+        if ev == "campaign_start":
+            st.campaign = rec
+            st.finished = False
+        elif ev == "campaign_finish":
+            st.finished = True
+        elif ev == "submit":
+            st.status.setdefault(tid, TaskStatus.PENDING)
+        elif ev == "start":
+            st.status[tid] = TaskStatus.RUNNING
+            st.attempts[tid] = int(rec.get("attempt", 1))
+        elif ev == "done":
+            st.status[tid] = TaskStatus.DONE
+            st.artifacts[tid] = dict(rec.get("artifacts", {}))
+        elif ev == "fail":
+            st.status[tid] = TaskStatus.FAILED
+        elif ev == "retry":
+            st.status[tid] = TaskStatus.PENDING
+        elif ev == "quarantine":
+            st.status[tid] = TaskStatus.QUARANTINED
+        elif ev == "skip":
+            st.status[tid] = TaskStatus.SKIPPED
+    return st

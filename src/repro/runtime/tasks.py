@@ -1,0 +1,199 @@
+"""Campaign task descriptions and the dependency DAG.
+
+A campaign is a bag of heterogeneous lattice tasks — gauge fixing,
+source smearing, propagator solves at several masses, sequential
+(Feynman-Hellmann-style) solves, contractions — related by data
+dependencies: a contraction consumes propagators already written to
+disk, exactly the Fig. 2 structure the paper's job managers schedule.
+
+Tasks here are *descriptions*, not work: every field is plain JSON so a
+task can cross a process boundary to a worker, be replayed from the
+write-ahead ledger, and be rebuilt identically on resume.  The physics
+lives in :mod:`repro.runtime.exec_tasks`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["CampaignTask", "TaskGraph", "TaskStatus"]
+
+
+class TaskStatus:
+    """Driver-side lifecycle of a campaign task."""
+
+    PENDING = "pending"  # waiting on dependencies or a worker
+    RUNNING = "running"  # dispatched to a worker
+    DONE = "done"
+    FAILED = "failed"  # attempt failed, awaiting retry backoff
+    QUARANTINED = "quarantined"  # poisoned: exhausted every attempt
+    SKIPPED = "skipped"  # a dependency was quarantined
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One schedulable unit of real work.
+
+    Parameters
+    ----------
+    task_id:
+        Unique name; doubles as the ledger/telemetry key and the
+        checkpoint-file stem.
+    kind:
+        Executor name in :data:`repro.runtime.exec_tasks.EXECUTORS`.
+    params:
+        JSON-serializable arguments for the executor.
+    deps:
+        Task ids that must be DONE before this task may start; their
+        artifacts are this task's inputs.
+    est_seconds:
+        Duration hint for resource-shape-aware scheduling (mpi_jm) and
+        for cross-validation against the event simulator.  Never used
+        for correctness.
+    cpu_only:
+        Contraction-style task: cheap, backfillable anywhere (the
+        "effectively free" co-scheduled work of Section V).
+    priority:
+        Larger runs earlier under the mpi_jm policy.
+    max_attempts:
+        Attempts before the task is quarantined as poison.
+    """
+
+    task_id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    est_seconds: float = 1.0
+    cpu_only: bool = False
+    priority: int = 0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if self.max_attempts < 1:
+            raise ValueError(f"{self.task_id}: max_attempts must be >= 1")
+        json.dumps(self.params)  # must be serializable for workers/ledger
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "params": self.params,
+            "deps": list(self.deps),
+            "est_seconds": self.est_seconds,
+            "cpu_only": self.cpu_only,
+            "priority": self.priority,
+            "max_attempts": self.max_attempts,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> "CampaignTask":
+        return cls(
+            task_id=d["task_id"],
+            kind=d["kind"],
+            params=d.get("params", {}),
+            deps=tuple(d.get("deps", ())),
+            est_seconds=float(d.get("est_seconds", 1.0)),
+            cpu_only=bool(d.get("cpu_only", False)),
+            priority=int(d.get("priority", 0)),
+            max_attempts=int(d.get("max_attempts", 3)),
+        )
+
+
+class TaskGraph:
+    """A validated DAG of :class:`CampaignTask`.
+
+    Validation happens at construction: duplicate ids, references to
+    unknown tasks and dependency cycles all raise immediately, so the
+    scheduler never discovers a malformed campaign halfway through a
+    night of solves.
+    """
+
+    def __init__(self, tasks: Iterable[CampaignTask]):
+        self.tasks: dict[str, CampaignTask] = {}
+        for t in tasks:
+            if t.task_id in self.tasks:
+                raise ValueError(f"duplicate task id {t.task_id!r}")
+            self.tasks[t.task_id] = t
+        for t in self.tasks.values():
+            for d in t.deps:
+                if d not in self.tasks:
+                    raise ValueError(f"{t.task_id}: unknown dependency {d!r}")
+        self._topo = self._toposort()
+        # consumers: who gets unblocked (or poisoned) by each task
+        self.consumers: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        for t in self.tasks.values():
+            for d in t.deps:
+                self.consumers[d].append(t.task_id)
+
+    def _toposort(self) -> list[str]:
+        indeg = {tid: len(t.deps) for tid, t in self.tasks.items()}
+        consumers: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        for t in self.tasks.values():
+            for d in t.deps:
+                consumers[d].append(t.task_id)
+        # Kahn's algorithm, insertion-ordered: the resulting order is the
+        # deterministic FIFO the naive and METAQ policies scan.
+        order: list[str] = []
+        frontier = [tid for tid, n in indeg.items() if n == 0]
+        while frontier:
+            tid = frontier.pop(0)
+            order.append(tid)
+            for c in consumers[tid]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    frontier.append(c)
+        if len(order) != len(self.tasks):
+            cyclic = sorted(set(self.tasks) - set(order))
+            raise ValueError(f"dependency cycle involving {cyclic}")
+        return order
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.topo_order())
+
+    def __getitem__(self, task_id: str) -> CampaignTask:
+        return self.tasks[task_id]
+
+    def topo_order(self) -> list[str]:
+        """Task ids in dependency order (deterministic)."""
+        return list(self._topo)
+
+    def ready(self, done: set[str], exclude: set[str] | None = None) -> list[str]:
+        """Ids whose dependencies are all in ``done``, in topo order."""
+        exclude = exclude or set()
+        return [
+            tid
+            for tid in self._topo
+            if tid not in done
+            and tid not in exclude
+            and all(d in done for d in self.tasks[tid].deps)
+        ]
+
+    def transitive_consumers(self, task_id: str) -> set[str]:
+        """Everything downstream of a task (what a poison task blocks)."""
+        out: set[str] = set()
+        frontier = [task_id]
+        while frontier:
+            tid = frontier.pop()
+            for c in self.consumers[tid]:
+                if c not in out:
+                    out.add(c)
+                    frontier.append(c)
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable hash of the full graph; the ledger records it so a
+        resume against a different campaign is refused, not silently
+        misapplied."""
+        blob = json.dumps(
+            [self.tasks[tid].to_json() for tid in sorted(self.tasks)],
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

@@ -18,12 +18,20 @@ from repro.solvers.precision import (
 )
 from repro.solvers.cg import (
     BatchedSolveResult,
+    CGState,
     ConjugateGradient,
     SolveResult,
+    load_state,
+    save_state,
     solve_normal_equations,
     solve_normal_equations_batched,
 )
-from repro.solvers.multiprec import ReliableUpdateCG
+from repro.solvers.multiprec import (
+    ReliableUpdateCG,
+    RUCGState,
+    load_ru_state,
+    save_ru_state,
+)
 from repro.solvers.bicgstab import BiCGStab
 from repro.solvers.multishift import MultiShiftCG, MultiShiftResult
 from repro.solvers.lanczos import DeflatedCG, LanczosResult, lanczos_lowest
@@ -44,6 +52,12 @@ __all__ = [
     "BiCGStab",
     "SolveResult",
     "BatchedSolveResult",
+    "CGState",
+    "RUCGState",
+    "save_state",
+    "load_state",
+    "save_ru_state",
+    "load_ru_state",
     "solve_normal_equations",
     "solve_normal_equations_batched",
 ]

@@ -18,6 +18,7 @@ workflow (many sources per configuration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -25,12 +26,102 @@ import numpy as np
 __all__ = [
     "SolveResult",
     "BatchedSolveResult",
+    "CGState",
     "ConjugateGradient",
+    "save_state",
+    "load_state",
     "solve_normal_equations",
     "solve_normal_equations_batched",
 ]
 
 MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class CGState:
+    """Serializable mid-solve state of :meth:`ConjugateGradient.solve`.
+
+    Captures exactly the recurrence variables at an iteration boundary,
+    so a solve resumed from a state performs bit-for-bit the same
+    floating-point operations as the uninterrupted solve (tested).  The
+    campaign runtime checkpoints these to disk every ``checkpoint_every``
+    iterations and resumes killed solves from the last checkpoint.
+
+    ``meta`` is free-form provenance (task id, source column, tolerance);
+    it rides along through :func:`save_state`/:func:`load_state`.
+    """
+
+    x: np.ndarray
+    r: np.ndarray
+    p: np.ndarray
+    rsq: float
+    bnorm: float
+    iteration: int
+    flops: float
+    history: list[float] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def copy(self) -> "CGState":
+        return CGState(
+            x=self.x.copy(),
+            r=self.r.copy(),
+            p=self.p.copy(),
+            rsq=self.rsq,
+            bnorm=self.bnorm,
+            iteration=self.iteration,
+            flops=self.flops,
+            history=list(self.history),
+            meta=dict(self.meta),
+        )
+
+
+def save_state(state: CGState, path: str | Path) -> None:
+    """Write a :class:`CGState` to disk (atomic, checksummed).
+
+    Uses the :class:`repro.io.container.FieldFile` container, so a
+    truncated or bit-flipped checkpoint is detected at load time rather
+    than silently resuming from garbage.
+    """
+    from repro.io.container import FieldFile
+
+    ff = FieldFile(
+        {
+            "kind": "cg_state",
+            "rsq": state.rsq,
+            "bnorm": state.bnorm,
+            "iteration": state.iteration,
+            "flops": state.flops,
+            "shape": list(state.x.shape),
+            "meta": state.meta,
+        }
+    )
+    ff.add("x", state.x)
+    ff.add("r", state.r)
+    ff.add("p", state.p)
+    ff.add("history", np.asarray(state.history, dtype=np.float64))
+    ff.save(path)
+
+
+def load_state(path: str | Path) -> CGState:
+    """Read a :class:`CGState`; raises ``ValueError`` on corruption."""
+    from repro.io.container import FieldFile
+
+    ff = FieldFile.load(path)
+    md = ff.metadata
+    if md.get("kind") != "cg_state":
+        raise ValueError(f"{path}: not a CG checkpoint (kind={md.get('kind')!r})")
+    shape = tuple(md["shape"])
+    return CGState(
+        x=ff["x"].reshape(shape),
+        r=ff["r"].reshape(shape),
+        p=ff["p"].reshape(shape),
+        rsq=float(md["rsq"]),
+        bnorm=float(md["bnorm"]),
+        iteration=int(md["iteration"]),
+        flops=float(md["flops"]),
+        history=[float(h) for h in ff["history"]],
+        meta=dict(md.get("meta", {})),
+    )
 
 
 @dataclass
@@ -153,26 +244,52 @@ class ConjugateGradient:
     flops_per_matvec: float = 0.0
     blas_flops_per_iter: float = 0.0
 
-    def solve(self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
-        """Solve ``A x = b`` for hermitian positive ``A``."""
-        b = np.asarray(b, dtype=np.complex128)
-        bnorm = _norm(b)
-        if bnorm == 0.0:
-            return SolveResult(np.zeros_like(b), True, 0, 0.0)
+    def solve(
+        self,
+        matvec: MatVec,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        *,
+        state: CGState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[CGState], None] | None = None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` for hermitian positive ``A``.
 
-        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
-        r = b - matvec(x) if x0 is not None else b.copy()
-        rsq = _dot(r, r).real
-        history: list[float] = []
-        flops = self.flops_per_matvec if x0 is not None else 0.0
-        iterations = 0
+        ``state`` resumes a previously checkpointed solve; the resumed
+        recurrence is bit-for-bit identical to the uninterrupted one
+        because the state captures every loop variable at an iteration
+        boundary.  With ``checkpoint_every > 0``, ``on_checkpoint`` is
+        called with a fresh :class:`CGState` every that many iterations
+        (checkpointing never perturbs the iterates).
+        """
+        b = np.asarray(b, dtype=np.complex128)
+        if state is not None:
+            bnorm = state.bnorm
+            x = np.array(state.x, dtype=np.complex128)
+            r = np.array(state.r, dtype=np.complex128)
+            p = np.array(state.p, dtype=np.complex128)
+            rsq = float(state.rsq)
+            history = list(state.history)
+            flops = float(state.flops)
+            iterations = int(state.iteration)
+        else:
+            bnorm = _norm(b)
+            if bnorm == 0.0:
+                return SolveResult(np.zeros_like(b), True, 0, 0.0)
+            x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
+            r = b - matvec(x) if x0 is not None else b.copy()
+            p = r.copy()
+            rsq = _dot(r, r).real
+            history = []
+            flops = self.flops_per_matvec if x0 is not None else 0.0
+            iterations = 0
 
         target = (self.tol * bnorm) ** 2
         if rsq > target:
             # Only enter the recurrence with genuine work to do — an
             # exact initial guess otherwise trips the p_ap <= 0
             # breakdown branch on a zero residual.
-            p = r.copy()
             while iterations < self.max_iter:
                 ap = matvec(p)
                 iterations += 1
@@ -192,6 +309,23 @@ class ConjugateGradient:
                 beta = new_rsq / rsq
                 p = r + beta * p
                 rsq = new_rsq
+                if (
+                    checkpoint_every > 0
+                    and on_checkpoint is not None
+                    and iterations % checkpoint_every == 0
+                ):
+                    on_checkpoint(
+                        CGState(
+                            x=x.copy(),
+                            r=r.copy(),
+                            p=p.copy(),
+                            rsq=rsq,
+                            bnorm=bnorm,
+                            iteration=iterations,
+                            flops=flops,
+                            history=list(history),
+                        )
+                    )
 
         true_res = _norm(b - matvec(x)) / bnorm
         flops += self.flops_per_matvec
@@ -273,11 +407,17 @@ def solve_normal_equations(
     b: np.ndarray,
     solver: ConjugateGradient | None = None,
     x0: np.ndarray | None = None,
+    *,
+    state: CGState | None = None,
+    checkpoint_every: int = 0,
+    on_checkpoint: Callable[[CGState], None] | None = None,
 ) -> SolveResult:
     """CGNE: solve non-hermitian ``D x = b`` via ``D^H D x = D^H b``.
 
     The reported ``final_relres`` is the residual of the *original*
-    system ``|b - D x| / |b|``.
+    system ``|b - D x| / |b|``.  Checkpoint arguments pass through to
+    :meth:`ConjugateGradient.solve`; the state describes the *normal*
+    system, which is all a resume needs.
     """
     solver = solver or ConjugateGradient()
     rhs = apply_dagger(b)
@@ -285,7 +425,14 @@ def solve_normal_equations(
     def normal(v: np.ndarray) -> np.ndarray:
         return apply_dagger(apply_op(v))
 
-    result = solver.solve(normal, rhs, x0=x0)
+    result = solver.solve(
+        normal,
+        rhs,
+        x0=x0,
+        state=state,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
     bnorm = _norm(b)
     if bnorm > 0.0:
         # Report the residual of the original system; convergence is

@@ -17,7 +17,9 @@ by the reliable-update factor ``delta``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -32,7 +34,74 @@ from repro.solvers.cg import (
 )
 from repro.solvers.precision import DoublePrecision, Precision
 
-__all__ = ["ReliableUpdateCG"]
+__all__ = ["ReliableUpdateCG", "RUCGState", "save_ru_state", "load_ru_state"]
+
+
+@dataclass
+class RUCGState:
+    """Serializable state of :meth:`ReliableUpdateCG.solve`.
+
+    Checkpoints are taken at *reliable-update boundaries* — the natural
+    restart points of the algorithm, where the accumulated solution has
+    just been folded in and the true residual refreshed in double
+    precision.  Resuming from one replays the remaining cycles
+    bit-for-bit identically to the uninterrupted solve: the next inner
+    cycle is a pure function of ``(x, r_true)``, both captured here.
+    """
+
+    x: np.ndarray
+    r_true: np.ndarray
+    r_anchor: float
+    bnorm: float
+    iteration: int
+    reliable_updates: int
+    flops: float
+    history: list[float] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+
+def save_ru_state(state: RUCGState, path: str | Path) -> None:
+    """Write an :class:`RUCGState` (atomic, checksummed container)."""
+    from repro.io.container import FieldFile
+
+    ff = FieldFile(
+        {
+            "kind": "rucg_state",
+            "r_anchor": state.r_anchor,
+            "bnorm": state.bnorm,
+            "iteration": state.iteration,
+            "reliable_updates": state.reliable_updates,
+            "flops": state.flops,
+            "shape": list(state.x.shape),
+            "meta": state.meta,
+        }
+    )
+    ff.add("x", state.x)
+    ff.add("r_true", state.r_true)
+    ff.add("history", np.asarray(state.history, dtype=np.float64))
+    ff.save(path)
+
+
+def load_ru_state(path: str | Path) -> RUCGState:
+    """Read an :class:`RUCGState`; raises ``ValueError`` on corruption."""
+    from repro.io.container import FieldFile
+
+    ff = FieldFile.load(path)
+    md = ff.metadata
+    if md.get("kind") != "rucg_state":
+        raise ValueError(f"{path}: not a reliable-update checkpoint")
+    shape = tuple(md["shape"])
+    return RUCGState(
+        x=ff["x"].reshape(shape),
+        r_true=ff["r_true"].reshape(shape),
+        r_anchor=float(md["r_anchor"]),
+        bnorm=float(md["bnorm"]),
+        iteration=int(md["iteration"]),
+        reliable_updates=int(md["reliable_updates"]),
+        flops=float(md["flops"]),
+        history=[float(h) for h in ff["history"]],
+        meta=dict(md.get("meta", {})),
+    )
 
 
 @dataclass
@@ -80,25 +149,53 @@ class ReliableUpdateCG:
             return v
         return v.astype(np.complex64).astype(np.complex128)
 
-    def solve(self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+    def solve(
+        self,
+        matvec: MatVec,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        *,
+        state: RUCGState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[RUCGState], None] | None = None,
+    ) -> SolveResult:
         """Solve ``A x = b``; ``matvec`` is always evaluated on the
         dequantized vector (the stencil itself runs in the compute
-        precision, which the storage round-trip already bounds)."""
+        precision, which the storage round-trip already bounds).
+
+        ``state`` resumes from a reliable-update-boundary checkpoint;
+        with ``checkpoint_every > 0``, ``on_checkpoint`` receives an
+        :class:`RUCGState` at the first boundary at least that many
+        iterations after the previous checkpoint.
+        """
         b = np.asarray(b, dtype=np.complex128)
-        bnorm = _norm(b)
-        if bnorm == 0.0:
-            return SolveResult(np.zeros_like(b), True, 0, 0.0)
+        if state is not None:
+            bnorm = state.bnorm
+            x = np.array(state.x, dtype=np.complex128)
+            r_true = np.array(state.r_true, dtype=np.complex128)
+            flops = float(state.flops)
+            iterations = int(state.iteration)
+            reliable_updates = int(state.reliable_updates)
+            history = list(state.history)
+            r_anchor = float(state.r_anchor)
+            converged = r_anchor <= self.tol * bnorm
+            last_ckpt = iterations
+        else:
+            bnorm = _norm(b)
+            if bnorm == 0.0:
+                return SolveResult(np.zeros_like(b), True, 0, 0.0)
 
-        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
-        # True residual in double precision.
-        r_true = b - matvec(x) if x0 is not None else b.copy()
-        flops = self.flops_per_matvec if x0 is not None else 0.0
-        iterations = 0
-        reliable_updates = 0
-        history: list[float] = []
+            x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
+            # True residual in double precision.
+            r_true = b - matvec(x) if x0 is not None else b.copy()
+            flops = self.flops_per_matvec if x0 is not None else 0.0
+            iterations = 0
+            reliable_updates = 0
+            history = []
 
-        r_anchor = _norm(r_true)  # residual norm at last reliable update
-        converged = False
+            r_anchor = _norm(r_true)  # residual norm at last reliable update
+            converged = False
+            last_ckpt = 0
 
         while iterations < self.max_iter and not converged:
             # --- start (or restart) an inner low-precision cycle -------
@@ -133,6 +230,25 @@ class ReliableUpdateCG:
             reliable_updates += 1
             r_anchor = _norm(r_true)
             converged = r_anchor <= self.tol * bnorm
+            if (
+                checkpoint_every > 0
+                and on_checkpoint is not None
+                and not converged
+                and iterations - last_ckpt >= checkpoint_every
+            ):
+                last_ckpt = iterations
+                on_checkpoint(
+                    RUCGState(
+                        x=x.copy(),
+                        r_true=r_true.copy(),
+                        r_anchor=r_anchor,
+                        bnorm=bnorm,
+                        iteration=iterations,
+                        reliable_updates=reliable_updates,
+                        flops=flops,
+                        history=list(history),
+                    )
+                )
             if rsq <= 0.0 and not converged:
                 break  # breakdown: cannot make further progress
 

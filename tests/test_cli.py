@@ -54,6 +54,56 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Time to solution" in out and "Sierra days" in out
 
+    def test_campaign_section_crossvalidates(self, capsys):
+        assert main(["--section", "campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "Executed vs modeled scheduling" in out
+        assert "rankings agree" in out
+
     def test_bad_section_rejected(self):
         with pytest.raises(SystemExit):
             main(["--section", "nope"])
+
+
+class TestCampaignCli:
+    """The repro-campaign tool on a small thread-pool campaign."""
+
+    def test_run_status_report_roundtrip(self, tmp_path, capsys):
+        from repro.runtime.cli import main as cmain
+
+        wd = str(tmp_path / "camp")
+        rc = cmain(
+            [
+                "run", "--workdir", wd, "--workers", "2", "--pool", "thread",
+                "--masses", "0.5", "--no-seq", "--checkpoint-every", "20",
+                "--fault", "raise:corr_m0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign finished" in out
+        assert "retries 1" in out  # the injected raise healed via retry
+
+        assert cmain(["status", "--workdir", wd]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "done" in out
+
+        assert cmain(["report", "--workdir", wd]) == 0
+        out = capsys.readouterr().out
+        assert "Task outcomes" in out and "Worker utilization" in out
+
+        assert cmain(["report", "--workdir", wd, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finished"] is True
+        assert payload["telemetry"]["tasks_done"] == 6
+
+        # Nothing pending: resume is a polite no-op.
+        assert cmain(["resume", "--workdir", wd]) == 0
+        assert "already finished" in capsys.readouterr().out
+
+    def test_status_without_ledger_fails(self, tmp_path, capsys):
+        from repro.runtime.cli import main as cmain
+
+        assert cmain(["status", "--workdir", str(tmp_path / "void")]) == 1

@@ -1,0 +1,142 @@
+"""Deterministic fault injection against real solves (process pool).
+
+The acceptance tests of the executed runtime: a campaign hit by a
+scripted worker kill, a corrupted checkpoint, or a wedged task must
+complete anyway — and because every executor is deterministic and the
+CG checkpoint resume is bit-exact, the final assembled correlators must
+be *bitwise identical* to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    CampaignConfig,
+    CampaignRuntime,
+    FaultPlan,
+    FaultSpec,
+    build_ga_campaign,
+    build_sleep_campaign,
+)
+from repro.runtime.telemetry import load_events
+
+# One light campaign: single mass, no sequential solve, checkpoint often
+# enough that a mid-solve kill has state to resume from.
+CAMPAIGN = dict(masses=(0.5,), tol=1e-7, checkpoint_every=10, include_seq=False)
+
+
+def _campaign(workdir, pool="process", faults=None, resume=False,
+              abort_on_worker_death=False, workers=2):
+    graph, spec = build_ga_campaign(**CAMPAIGN)
+    rt = CampaignRuntime(
+        workdir,
+        CampaignConfig(
+            workers=workers, policy="metaq", pool=pool,
+            backoff_base_s=0.05, task_timeout_s=120.0,
+            abort_on_worker_death=abort_on_worker_death,
+        ),
+        spec=spec,
+    )
+    res = rt.run(graph, faults=faults, resume=resume)
+    return rt, res
+
+
+def _final_bytes(rt):
+    return rt.store.path("assemble:correlators").read_bytes()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Fault-free run (thread pool: cheap, same deterministic bytes)."""
+    wd = tmp_path_factory.mktemp("ref")
+    rt, res = _campaign(wd, pool="thread")
+    assert res.all_done
+    return _final_bytes(rt)
+
+
+class TestWorkerKill:
+    def test_kill_mid_solve_resumes_from_checkpoint(self, tmp_path, reference):
+        faults = FaultPlan({"prop_m0": FaultSpec(kind="kill_worker",
+                                                 at_checkpoint=2)})
+        rt, res = _campaign(tmp_path, faults=faults)
+        assert res.all_done
+        assert res.worker_deaths == 1
+        assert res.retries == 1
+        assert _final_bytes(rt) == reference
+
+        # The retry really did resume mid-solve rather than recompute:
+        events = load_events(tmp_path)
+        restored = [e for e in events if e["ev"] == "checkpoint_restored"]
+        assert restored, "retry did not load the checkpoint"
+
+    def test_allocation_loss_then_ledger_resume_bitwise(self, tmp_path,
+                                                        reference):
+        """The headline property: kill -> abort -> resume -> same bytes."""
+        faults = FaultPlan({"prop_m0": FaultSpec(kind="kill_worker",
+                                                 at_checkpoint=2)})
+        rt, res = _campaign(tmp_path, faults=faults,
+                            abort_on_worker_death=True)
+        assert res.interrupted
+        assert not res.all_done
+
+        rt2, res2 = _campaign(tmp_path, resume=True)
+        assert res2.all_done
+        assert res2.tasks_reused >= 1
+        assert _final_bytes(rt2) == reference
+
+
+class TestCorruptCheckpoint:
+    def test_corrupt_checkpoint_detected_and_recomputed(self, tmp_path,
+                                                        reference):
+        faults = FaultPlan(
+            {"prop_m0": FaultSpec(kind="corrupt_checkpoint", at_checkpoint=2)}
+        )
+        rt, res = _campaign(tmp_path, faults=faults)
+        assert res.all_done
+        assert res.worker_deaths == 1
+        assert _final_bytes(rt) == reference
+        # The damaged file was quarantined aside, not silently loaded.
+        corpses = list((tmp_path / "checkpoints").glob("*.corrupt"))
+        assert corpses, "corrupt checkpoint was not set aside"
+        events = load_events(tmp_path)
+        assert not [e for e in events if e["ev"] == "checkpoint_restored"]
+
+
+class TestTimeout:
+    def test_stalled_task_killed_and_retried(self, tmp_path):
+        graph, spec = build_sleep_campaign(n_long=2, n_short=2,
+                                           long_s=0.05, short_s=0.02)
+        rt = CampaignRuntime(
+            tmp_path,
+            CampaignConfig(workers=2, policy="metaq", pool="process",
+                           backoff_base_s=0.05, task_timeout_s=1.5),
+            spec=spec,
+        )
+        faults = FaultPlan({"long0": FaultSpec(kind="stall", stall_s=30.0)})
+        res = rt.run(graph, faults=faults)
+        assert res.all_done
+        assert res.timeouts == 1
+        assert res.retries >= 1
+
+
+class TestLedgerOnDisk:
+    def test_ledger_is_valid_jsonl_after_faults(self, tmp_path):
+        graph, spec = build_sleep_campaign(n_long=2, n_short=2,
+                                           long_s=0.03, short_s=0.01)
+        rt = CampaignRuntime(
+            tmp_path,
+            CampaignConfig(workers=2, policy="metaq", pool="process",
+                           backoff_base_s=0.05),
+            spec=spec,
+        )
+        faults = FaultPlan({"short0": FaultSpec(kind="raise")})
+        res = rt.run(graph, faults=faults)
+        assert res.all_done
+        lines = (tmp_path / "ledger.jsonl").read_text().splitlines()
+        events = [json.loads(ln) for ln in lines if ln.strip()]
+        kinds = {e["ev"] for e in events}
+        assert {"campaign_start", "submit", "start", "done", "fail",
+                "retry", "campaign_finish"} <= kinds
