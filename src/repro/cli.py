@@ -162,6 +162,57 @@ def _comm() -> str:
     return model_table + "\n\n" + meas_table + "\n" + note
 
 
+def _perf() -> str:
+    """Measured kernel GF/s vs the roofline model (tentpole of PR 5).
+
+    Records the seeded 4^3x8 reference measurement under tracing, then
+    reports per-kernel sustained GF/s next to the micro-measured host
+    roofline's prediction at each kernel's arithmetic intensity — the
+    measured-over-model analogue of the paper's percent-of-peak
+    (Section VI).
+    """
+    import tempfile
+
+    from repro.obs import DEFAULT_BAND, aggregate, crossvalidate, load_spans
+    from repro.obs.cli import record_pipeline
+    from repro.perfmodel import host_roofline
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as td:
+        record_pipeline(td, dims=(4, 4, 4, 8))
+        spans = load_spans(td)
+    stats = aggregate(spans)
+    roofline = host_roofline()
+    checks = {c.name: c for c in crossvalidate(stats, roofline)}
+    rows = []
+    for st in stats.values():
+        c = checks.get(st.name)
+        rows.append(
+            (
+                st.name,
+                st.calls,
+                f"{st.seconds * 1e3:.1f}",
+                f"{st.gflops:.3f}" if st.flops else "-",
+                f"{st.gbs:.3f}" if st.nbytes else "-",
+                f"{c.model_gflops:.1f}" if c else "-",
+                f"{c.pct_of_model:.2f}%" if c else "-",
+            )
+        )
+    table = format_table(
+        ["span", "calls", "ms", "GF/s", "GB/s", "model GF/s", "% of model"],
+        rows,
+        title="Measured vs modeled performance (seeded 4^3x8 pipeline)",
+    )
+    lo, hi = DEFAULT_BAND
+    in_band = sum(c.in_band for c in checks.values())
+    note = (
+        f"roofline ({roofline.label}): {roofline.peak_gflops:.0f} GF/s peak, "
+        f"{roofline.peak_bw_gbs:.0f} GB/s bandwidth; "
+        f"band [{lo * 100:.1f}%, {hi * 100:.0f}%] of model: "
+        f"{in_band}/{len(checks)} kernels in band"
+    )
+    return table + "\n" + note
+
+
 def _campaign() -> str:
     """Executed-vs-modeled scheduling cross-validation (Section V)."""
     from repro.runtime.report import campaign_section
@@ -202,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         "--section",
         choices=[
             "all", "table1", "table2", "table3", "headlines",
-            "memory", "backends", "comm", "campaign", "tts",
+            "memory", "backends", "comm", "perf", "campaign", "tts",
         ],
         default="all",
     )
@@ -217,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
         "memory": _memory,
         "backends": _backends,
         "comm": _comm,
+        "perf": _perf,
         "campaign": _campaign,
         "tts": _tts,
     }

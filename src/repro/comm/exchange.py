@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.comm.decomp import RankGrid
 from repro.comm.shm import Fabric, FaceTag
 
@@ -72,15 +73,22 @@ class HaloExchanger:
 
     def begin(self, faces: dict[FaceTag, np.ndarray]) -> None:
         """Post faces for the current round (they are 'in flight' until
-        :meth:`complete`)."""
+        :meth:`complete`).
+
+        The posting pass runs inside a ``halo.begin`` observability
+        span attributed with the off-rank bytes of this round.
+        """
         slot = self._round % 2
-        for tag, arr in faces.items():
-            dst = self._dst[tag]
-            self.fabric.post(dst, slot, tag, arr)
-            self._pending[tag] = arr.shape
-            if dst != self.rank:
-                self.messages += 1
-                self.bytes_sent += arr.nbytes
+        with obs.span("halo.begin", cat="comm", rank=self.rank,
+                      n_faces=len(faces)) as sp:
+            for tag, arr in faces.items():
+                dst = self._dst[tag]
+                self.fabric.post(dst, slot, tag, arr)
+                self._pending[tag] = arr.shape
+                if dst != self.rank:
+                    self.messages += 1
+                    self.bytes_sent += arr.nbytes
+                    sp.add_bytes(arr.nbytes)
 
     def complete(self) -> dict[FaceTag, np.ndarray]:
         """Synchronize the round and return the received ghost faces.
@@ -92,9 +100,12 @@ class HaloExchanger:
         slot = self._round % 2
         self._round += 1
         self.rounds += 1
-        self.fabric.barrier()
-        got = {tag: self.fabric.fetch(slot, tag, shape)
-               for tag, shape in self._pending.items()}
+        with obs.span("halo.complete", cat="comm", rank=self.rank,
+                      round=self.rounds) as sp:
+            self.fabric.barrier()
+            got = {tag: self.fabric.fetch(slot, tag, shape)
+                   for tag, shape in self._pending.items()}
+            sp.add_bytes(sum(int(np.prod(sh)) * 16 for sh in self._pending.values()))
         self._pending = {}
         return got
 

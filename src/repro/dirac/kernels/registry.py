@@ -101,6 +101,8 @@ def select_backend(
     tunecache).  Subsequent calls — including in fresh processes that
     loaded the tunecache — are pure lookups.
     """
+    from repro import obs
+
     key = dslash_tune_key(geometry, precision=precision, n_rhs=n_rhs)
     cached = tuner.backend_choice(key)
     if cached is not None and cached in _REGISTRY:
@@ -110,4 +112,7 @@ def select_backend(
     sample = rng.normal(size=shape) + 1j * rng.normal(size=shape)
     kernels = {name: make_kernel(name, u, u_dag, geometry) for name in available_backends()}
     candidates = {name: (lambda k=k: k.hopping(sample)) for name, k in kernels.items()}
-    return tuner.tune_backend(key, candidates).backend
+    with obs.span("dslash.tune", cat="tune", key=key.as_string()) as sp:
+        entry = tuner.tune_backend(key, candidates)
+        sp.set(winner=entry.backend)
+    return entry.backend

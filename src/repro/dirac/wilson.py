@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.dirac import gamma as g
 from repro.dirac import kernels as _kernels
 from repro.dirac.flops import wilson_dslash_flops_per_site
@@ -114,9 +115,21 @@ class WilsonOperator:
 
         ``H`` strictly couples opposite checkerboard parities — the
         property exploited by the red-black preconditioning.
+
+        Every application opens an :mod:`repro.obs` span attributed
+        with the LQCD-convention flop count (1320/site/RHS) and the
+        bytes of one stencil pass (field in + out once per RHS, both
+        link copies once per application).
         """
         phi, _ = self._flatten(psi)
-        return self._kernel.hopping(phi).reshape(psi.shape)
+        with obs.span(
+            f"dslash.{self._kernel.name}",
+            flops=float(phi.shape[0] * self.geometry.volume * wilson_dslash_flops_per_site()),
+            nbytes=float(2 * phi.nbytes + self.u.nbytes + self.u_dag.nbytes),
+            lead=phi.shape[0],
+        ):
+            out = self._kernel.hopping(phi)
+        return out.reshape(psi.shape)
 
     def apply(self, psi: np.ndarray) -> np.ndarray:
         """``D psi``."""

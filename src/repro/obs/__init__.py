@@ -1,0 +1,60 @@
+"""Unified observability: span tracing, flop/byte accounting, roofline checks.
+
+The measured counterpart of :mod:`repro.perfmodel`.  Instrumented code
+(the dslash kernels, the CG/RU-CG/batched solvers, the halo exchange,
+the campaign workers) opens spans through :func:`repro.obs.span`; when
+tracing is enabled the spans land in per-``(process, thread)`` JSONL
+shards, which merge into a Chrome/Perfetto trace
+(:func:`repro.obs.write_chrome`), per-kernel sustained GF/s and GB/s
+(:func:`repro.obs.aggregate`), and a roofline cross-validation
+(:func:`repro.obs.crossvalidate`) reporting percent-of-model the way
+the paper reports percent-of-peak.
+
+Tracing is off by default and zero-cost when off; see
+:mod:`repro.obs.tracer` for the enable/disable and worker-inheritance
+mechanics, and ``repro-trace`` / ``repro-report --section perf`` for
+the command-line surface.
+"""
+
+from repro.obs.chrome import to_chrome, write_chrome
+from repro.obs.perf import (
+    DEFAULT_BAND,
+    KernelStats,
+    PerfCheck,
+    aggregate,
+    crossvalidate,
+)
+from repro.obs.readers import iter_shard, load_spans, shard_paths
+from repro.obs.tracer import (
+    ENV_TRACE_DIR,
+    NullSpan,
+    Span,
+    Tracer,
+    current,
+    disable,
+    enable,
+    enabled,
+    span,
+)
+
+__all__ = [
+    "ENV_TRACE_DIR",
+    "DEFAULT_BAND",
+    "KernelStats",
+    "NullSpan",
+    "PerfCheck",
+    "Span",
+    "Tracer",
+    "aggregate",
+    "crossvalidate",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "iter_shard",
+    "load_spans",
+    "shard_paths",
+    "span",
+    "to_chrome",
+    "write_chrome",
+]

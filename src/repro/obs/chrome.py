@@ -1,0 +1,68 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export.
+
+Converts the merged span stream into the Trace Event Format's JSON
+object form: one complete-duration event (``"ph": "X"``) per span, with
+microsecond timestamps rebased to the earliest span so the viewer opens
+at t=0, plus process/thread metadata events so worker shards appear as
+named tracks.  The output loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["to_chrome", "write_chrome"]
+
+
+def to_chrome(spans: list[dict[str, Any]], label: str = "repro") -> dict[str, Any]:
+    """Build a Trace-Event-Format object from merged span records."""
+    events: list[dict[str, Any]] = []
+    t_min = min((float(s["t0"]) for s in spans), default=0.0)
+    seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
+    for s in spans:
+        pid = int(s.get("pid", 0))
+        tid = int(s.get("tid", 0))
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append(
+                {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                 "args": {"name": f"{label} p{pid}"}}
+            )
+        if (pid, tid) not in seen_tids:
+            seen_tids.add((pid, tid))
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": f"t{tid}"}}
+            )
+        args = dict(s.get("args", {}))
+        args["flops"] = float(s.get("flops", 0.0))
+        args["bytes"] = float(s.get("bytes", 0.0))
+        dur_s = float(s["dur"])
+        if dur_s > 0.0 and args["flops"] > 0.0:
+            args["gflops"] = args["flops"] / dur_s / 1e9
+        events.append(
+            {
+                "ph": "X",
+                "name": str(s["name"]),
+                "cat": str(s.get("cat", "kernel")),
+                "pid": pid,
+                "tid": tid,
+                "ts": (float(s["t0"]) - t_min) * 1e6,
+                "dur": dur_s * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: list[dict[str, Any]], path: str | Path,
+                 label: str = "repro") -> Path:
+    """Write the Chrome trace JSON for ``spans`` and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome(spans, label=label)), encoding="utf-8")
+    return path

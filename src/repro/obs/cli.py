@@ -1,0 +1,178 @@
+"""``repro-trace``: record, convert and summarize kernel traces.
+
+Three subcommands::
+
+    repro-trace record  --workdir DIR [--dims X Y Z T] [--seed N]
+    repro-trace convert --workdir DIR [--out trace.json]
+    repro-trace summary --workdir DIR [--machine sierra]
+
+``record`` runs the seeded reference workload — one configuration's
+proton 2pt + Feynman-Hellmann measurement (the Fig. 2 pipeline on the
+Wilson action) — with tracing enabled, sharding spans into ``DIR``.
+``convert`` merges the shards into a ``chrome://tracing`` / Perfetto
+JSON.  ``summary`` prints per-kernel measured GF/s, GB/s and arithmetic
+intensity, cross-validated against a roofline (the micro-measured host
+by default, a Table II machine with ``--machine``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs import tracer
+from repro.obs.chrome import write_chrome
+from repro.obs.perf import DEFAULT_BAND, aggregate, crossvalidate
+from repro.obs.readers import load_spans, shard_paths
+
+__all__ = ["main", "record_pipeline"]
+
+
+def record_pipeline(
+    trace_dir: str | Path,
+    dims: tuple[int, int, int, int] = (4, 4, 4, 8),
+    mass: float = 0.3,
+    tol: float = 1e-8,
+    seed: int = 2026,
+) -> int:
+    """Run the seeded reference measurement under tracing.
+
+    Returns the number of spans recorded.  The workload is the Wilson
+    Fig. 2 pipeline (propagator + Feynman-Hellmann solves, then the
+    contractions), so the trace exercises the dslash kernels, the CG
+    solver and the contraction layer in their production nesting.
+    """
+    from repro.core.pipeline import GAPipeline
+    from repro.lattice import GaugeField, Geometry
+    from repro.utils.rng import make_rng
+
+    t = tracer.enable(trace_dir)
+    try:
+        geom = Geometry(*dims)
+        gauge = GaugeField.random(geom, make_rng(seed), scale=0.3)
+        GAPipeline(fermion="wilson", mass=mass, tol=tol).measure(gauge)
+        return t.spans_written
+    finally:
+        tracer.disable()
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    trace_dir = Path(args.workdir)
+    n = record_pipeline(
+        trace_dir,
+        dims=tuple(args.dims),
+        mass=args.mass,
+        tol=args.tol,
+        seed=args.seed,
+    )
+    shards = shard_paths(trace_dir)
+    print(f"recorded {n} spans into {len(shards)} shard(s) under {trace_dir}")
+    for p in shards:
+        print(f"  {p.name}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    spans = load_spans(args.workdir)
+    if not spans:
+        print(f"no spans under {args.workdir} (run 'repro-trace record' first)",
+              file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else Path(args.workdir) / "trace.json"
+    write_chrome(spans, out)
+    print(f"wrote {out} ({len(spans)} spans) — load it in chrome://tracing "
+          "or https://ui.perfetto.dev")
+    return 0
+
+
+def _roofline(machine: str | None):
+    if machine:
+        from repro.perfmodel import machine_roofline
+
+        return machine_roofline(machine)
+    from repro.perfmodel import host_roofline
+
+    return host_roofline()
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.utils.tables import format_table
+
+    spans = load_spans(args.workdir)
+    if not spans:
+        print(f"no spans under {args.workdir} (run 'repro-trace record' first)",
+              file=sys.stderr)
+        return 1
+    stats = aggregate(spans)
+    roofline = _roofline(args.machine)
+    checks = {c.name: c for c in crossvalidate(stats, roofline)}
+    rows = []
+    for st in stats.values():
+        c = checks.get(st.name)
+        rows.append(
+            (
+                st.name,
+                st.cat,
+                st.calls,
+                f"{st.seconds * 1e3:.1f}",
+                f"{st.gflops:.3f}" if st.flops else "-",
+                f"{st.gbs:.3f}" if st.nbytes else "-",
+                f"{st.arithmetic_intensity:.2f}" if st.nbytes else "-",
+                f"{c.model_gflops:.1f}" if c else "-",
+                f"{c.pct_of_model:.2f}%" if c else "-",
+            )
+        )
+    print(
+        format_table(
+            ["span", "cat", "calls", "ms", "GF/s", "GB/s", "flop/B",
+             "model GF/s", "% of model"],
+            rows,
+            title=f"Measured kernels vs roofline ({roofline.label}: "
+            f"{roofline.peak_gflops:.0f} GF/s peak, "
+            f"{roofline.peak_bw_gbs:.0f} GB/s)",
+        )
+    )
+    lo, hi = DEFAULT_BAND
+    flagged = [c for c in checks.values() if not c.in_band]
+    print(f"band: kernel rows must fall in [{lo * 100:.1f}%, {hi * 100:.0f}%] "
+          f"of model; {len(flagged)} of {len(checks)} outside")
+    return 1 if flagged and args.strict else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Record, convert and summarize repro kernel traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_rec = sub.add_parser("record", help="run the seeded reference solve under tracing")
+    p_rec.add_argument("--workdir", required=True, help="shard output directory")
+    p_rec.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 8],
+                       metavar=("X", "Y", "Z", "T"))
+    p_rec.add_argument("--mass", type=float, default=0.3)
+    p_rec.add_argument("--tol", type=float, default=1e-8)
+    p_rec.add_argument("--seed", type=int, default=2026)
+    p_rec.set_defaults(fn=_cmd_record)
+
+    p_conv = sub.add_parser("convert", help="merge shards into a Chrome/Perfetto trace")
+    p_conv.add_argument("--workdir", required=True)
+    p_conv.add_argument("--out", default=None, help="output JSON (default WORKDIR/trace.json)")
+    p_conv.set_defaults(fn=_cmd_convert)
+
+    p_sum = sub.add_parser("summary", help="per-kernel GF/s vs roofline")
+    p_sum.add_argument("--workdir", required=True)
+    p_sum.add_argument("--machine", default=None,
+                       help="cross-validate against a Table II machine instead of the host")
+    p_sum.add_argument("--strict", action="store_true",
+                       help="exit nonzero if any kernel falls outside the band")
+    p_sum.set_defaults(fn=_cmd_summary)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

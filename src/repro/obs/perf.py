@@ -1,0 +1,130 @@
+"""Measured GF/s per kernel, cross-validated against the roofline model.
+
+The paper states its performance claim as *measured flops over measured
+time, as a fraction of peak* (Section VI: ~20 PFlops sustained at 15-20%
+of peak).  This module makes the same two-sided statement for the traced
+Python kernels: the measured side aggregates the span stream (explicit
+flop/byte attribution divided by span time), the modeled side is a
+:class:`repro.perfmodel.Roofline` prediction at each kernel's measured
+arithmetic intensity, and the cross-check reports measured-over-model
+the way the paper reports percent-of-peak.
+
+The spans are nested (a ``cg.solve`` span contains its ``dslash.*``
+children), so aggregation is **per span name** — each row is
+self-consistent, and rows are not summable across names.  Roofline
+cross-validation only considers ``cat="kernel"`` spans, whose flop/byte
+attribution is exact per application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["KernelStats", "PerfCheck", "DEFAULT_BAND", "aggregate", "crossvalidate"]
+
+#: Measured/model band the report flags against: a NumPy stencil should
+#: land between 0.1% and 120% of its roofline (above 100% only through
+#: timer granularity on sub-microsecond spans).
+DEFAULT_BAND = (0.001, 1.2)
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    cat: str
+    calls: int
+    seconds: float
+    flops: float
+    nbytes: float
+
+    @property
+    def gflops(self) -> float:
+        """Measured sustained GFlop/s over the aggregated span time."""
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def gbs(self) -> float:
+        """Measured sustained GB/s over the aggregated span time."""
+        return self.nbytes / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Attributed flops per attributed byte (0 if bytes unknown)."""
+        return self.flops / self.nbytes if self.nbytes > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PerfCheck:
+    """One kernel's measured-vs-modeled verdict."""
+
+    name: str
+    measured_gflops: float
+    model_gflops: float
+    fraction: float
+    in_band: bool
+    band: tuple[float, float]
+
+    @property
+    def pct_of_model(self) -> float:
+        return 100.0 * self.fraction
+
+
+def aggregate(
+    spans: Iterable[dict[str, Any]],
+    cats: tuple[str, ...] | None = None,
+) -> dict[str, KernelStats]:
+    """Reduce a span stream to per-name totals, largest time first.
+
+    ``cats`` restricts to the given span categories (default: all).
+    """
+    acc: dict[str, list] = {}
+    for s in spans:
+        cat = str(s.get("cat", "kernel"))
+        if cats is not None and cat not in cats:
+            continue
+        name = str(s["name"])
+        row = acc.setdefault(name, [cat, 0, 0.0, 0.0, 0.0])
+        row[1] += 1
+        row[2] += float(s.get("dur", 0.0))
+        row[3] += float(s.get("flops", 0.0))
+        row[4] += float(s.get("bytes", 0.0))
+    stats = {
+        name: KernelStats(name, cat, calls, secs, flops, nbytes)
+        for name, (cat, calls, secs, flops, nbytes) in acc.items()
+    }
+    return dict(sorted(stats.items(), key=lambda kv: -kv[1].seconds))
+
+
+def crossvalidate(
+    stats: dict[str, KernelStats],
+    roofline,
+    band: tuple[float, float] = DEFAULT_BAND,
+    cats: tuple[str, ...] = ("kernel",),
+) -> list[PerfCheck]:
+    """Compare each kernel's measured GF/s to its roofline prediction.
+
+    ``roofline`` is any object with ``predict_gflops(ai)`` (e.g.
+    :class:`repro.perfmodel.Roofline`).  Kernels without byte
+    attribution (unknown arithmetic intensity) are skipped — the model
+    side is undefined for them.
+    """
+    checks: list[PerfCheck] = []
+    for st in stats.values():
+        if st.cat not in cats or st.nbytes <= 0 or st.seconds <= 0:
+            continue
+        model = float(roofline.predict_gflops(st.arithmetic_intensity))
+        frac = st.gflops / model if model > 0 else 0.0
+        checks.append(
+            PerfCheck(
+                name=st.name,
+                measured_gflops=st.gflops,
+                model_gflops=model,
+                fraction=frac,
+                in_band=band[0] <= frac <= band[1],
+                band=band,
+            )
+        )
+    return checks

@@ -15,8 +15,18 @@ from repro.perfmodel.solver import SolverPerfModel, SolverPerfPoint
 from repro.perfmodel.scaling import strong_scaling, solver_performance
 from repro.perfmodel.memory import SolveFootprint, minimum_gpus, solve_footprint
 from repro.perfmodel.tts import CampaignSpec, TimeToSolution, time_to_solution
+from repro.perfmodel.roofline import (
+    Roofline,
+    host_roofline,
+    machine_roofline,
+    measure_host_roofline,
+)
 
 __all__ = [
+    "Roofline",
+    "host_roofline",
+    "machine_roofline",
+    "measure_host_roofline",
     "GPUKernelModel",
     "LaunchParams",
     "DslashCost",

@@ -1,0 +1,123 @@
+"""Roofline model: the ceiling the measured kernels are judged against.
+
+The paper's percent-of-peak statements (15-20% of peak at ~20 PFlops,
+Section VI) divide measured flop rates by a hardware ceiling.  The
+observability layer (:mod:`repro.obs`) makes the same statement for the
+traced NumPy kernels, and this module supplies the ceiling in two
+flavors:
+
+* :func:`machine_roofline` — the Table II machines' GPU rooflines
+  (peak FP32 and calibrated effective bandwidth), for modeled studies;
+* :func:`measure_host_roofline` — an *executed* micro-measurement of
+  the local host: peak flop rate from a BLAS matmul, peak bandwidth
+  from a STREAM-like triad.  This is the honest ceiling for the NumPy
+  dslash, and what ``repro-report --section perf`` cross-validates
+  measured GF/s against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Roofline", "machine_roofline", "measure_host_roofline", "host_roofline"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A two-parameter roofline: flop ceiling and bandwidth ceiling."""
+
+    peak_gflops: float
+    peak_bw_gbs: float
+    label: str = "host"
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (flop/byte) where the roof flattens."""
+        return self.peak_gflops / self.peak_bw_gbs
+
+    def predict_gflops(self, arithmetic_intensity: float) -> float:
+        """Attainable GFlop/s at the given arithmetic intensity."""
+        if arithmetic_intensity <= 0:
+            return 0.0
+        return min(self.peak_gflops, arithmetic_intensity * self.peak_bw_gbs)
+
+    def bound(self, arithmetic_intensity: float) -> str:
+        """``"memory"`` or ``"compute"`` — which ceiling binds."""
+        return "memory" if arithmetic_intensity < self.ridge_intensity else "compute"
+
+    def pct_of_model(self, measured_gflops: float, arithmetic_intensity: float) -> float:
+        """Measured rate as a percentage of the attainable rate."""
+        model = self.predict_gflops(arithmetic_intensity)
+        return 100.0 * measured_gflops / model if model > 0 else 0.0
+
+
+def machine_roofline(machine_name: str) -> Roofline:
+    """Roofline of one Table II machine's GPU (effective bandwidth).
+
+    Uses the calibrated ``cache_factor``-amplified bandwidth — the
+    ceiling the paper's dslash actually sustains against (Section VII).
+    """
+    from repro.machines import get_machine
+
+    m = get_machine(machine_name)
+    return Roofline(
+        peak_gflops=m.gpu.fp32_tflops * 1e3,
+        peak_bw_gbs=m.gpu.mem_bw_gbs * m.gpu.cache_factor,
+        label=m.name,
+    )
+
+
+def _best_of(fn, repeats: int) -> float:
+    fn()  # warm-up
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_host_roofline(n_flops: int = 512, bw_mib: int = 32,
+                          repeats: int = 3) -> Roofline:
+    """Micro-measure the local host's roofline.
+
+    Peak flop rate comes from an ``n_flops``-square float64 matmul
+    (``2 n^3`` flop through BLAS — the practical ceiling for NumPy
+    code); peak bandwidth from a triad ``a = b + s*c`` over ``bw_mib``
+    MiB float64 arrays (3 streams).  Both take the best of ``repeats``
+    runs, a few tens of milliseconds total.
+    """
+    a = np.random.default_rng(0).normal(size=(n_flops, n_flops))
+    b = a.T.copy()
+    out = np.empty_like(a)
+    t_mm = _best_of(lambda: np.matmul(a, b, out=out), repeats)
+    peak_gflops = 2.0 * n_flops**3 / t_mm / 1e9
+
+    n_bw = bw_mib * 1024 * 1024 // 8
+    x = np.ones(n_bw)
+    y = np.ones(n_bw)
+    z = np.empty(n_bw)
+
+    def triad() -> None:
+        np.multiply(y, 1.5, out=z)
+        np.add(z, x, out=z)
+
+    t_bw = _best_of(triad, repeats)
+    # 4 streams touched: read y, write z, read z, read x (+ write z again
+    # in-place); count the classic triad's 3 plus the extra read-modify.
+    peak_bw_gbs = 4.0 * x.nbytes / t_bw / 1e9
+    return Roofline(peak_gflops=peak_gflops, peak_bw_gbs=peak_bw_gbs, label="host")
+
+
+_HOST: Roofline | None = None
+
+
+def host_roofline(refresh: bool = False) -> Roofline:
+    """The measured local roofline, cached per process."""
+    global _HOST
+    if _HOST is None or refresh:
+        _HOST = measure_host_roofline()
+    return _HOST

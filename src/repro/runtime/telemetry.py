@@ -25,7 +25,13 @@ __all__ = ["TelemetryWriter", "TelemetrySummary", "load_events", "summarize"]
 
 
 class TelemetryWriter:
-    """Line-buffered JSONL event emitter (one writer per file)."""
+    """Line-buffered JSONL event emitter (one writer per file).
+
+    Usable as a context manager; :meth:`close` is idempotent (workers
+    close once on fault-injected death and again in their ``finally``),
+    and :meth:`emit` after close raises rather than silently writing to
+    a dead handle.
+    """
 
     def __init__(self, path: str | Path, source: str):
         self.path = Path(path)
@@ -34,13 +40,27 @@ class TelemetryWriter:
         self._f = self.path.open("a", encoding="utf-8")
 
     def emit(self, ev: str, **fields: Any) -> None:
+        if self._f is None:
+            raise RuntimeError(f"TelemetryWriter({self.path.name}) is closed")
         rec = {"ev": ev, "t": time.time(), "src": self.source, **fields}
         self._f.write(json.dumps(rec, sort_keys=True) + "\n")
         self._f.flush()
 
+    @property
+    def closed(self) -> bool:
+        return self._f is None
+
     def close(self) -> None:
-        if not self._f.closed:
-            self._f.close()
+        if self._f is not None:
+            if not self._f.closed:
+                self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def load_events(workdir: str | Path) -> list[dict[str, Any]]:

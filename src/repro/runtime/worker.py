@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.comm.shm import spawn_context
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.exec_tasks import ArtifactStore, ExecContext, execute_task
@@ -87,7 +88,18 @@ def worker_main(
             )
             t0 = time.monotonic()
             try:
-                artifacts = execute_task(msg["kind"], msg["params"], ctx)
+                # The span survives worker death only as a torn shard
+                # line (tolerated by the trace reader) — a real kill
+                # never reaches the span exit, exactly like the paper's
+                # lost node-hours.
+                with obs.span(
+                    f"task.{msg['kind']}",
+                    cat="task",
+                    task=msg["task"],
+                    attempt=int(msg["attempt"]),
+                    worker=worker_id,
+                ):
+                    artifacts = execute_task(msg["kind"], msg["params"], ctx)
             except WorkerKilled:
                 raise
             except Exception as e:  # real failure: report and keep serving

@@ -23,6 +23,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
+
 __all__ = [
     "SolveResult",
     "BatchedSolveResult",
@@ -262,7 +264,35 @@ class ConjugateGradient:
         boundary.  With ``checkpoint_every > 0``, ``on_checkpoint`` is
         called with a fresh :class:`CGState` every that many iterations
         (checkpointing never perturbs the iterates).
+
+        The whole solve runs inside one ``cg.solve`` observability span
+        carrying the model flop count and outcome (iteration count,
+        convergence) — the measured side of the paper's solver
+        accounting.  Tracing never perturbs the iterates.
         """
+        with obs.span("cg.solve", cat="solver", resumed=state is not None) as sp:
+            result = self._solve(
+                matvec,
+                b,
+                x0,
+                state=state,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
+            sp.add_flops(result.flops)
+            sp.set(iterations=result.iterations, converged=result.converged)
+        return result
+
+    def _solve(
+        self,
+        matvec: MatVec,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        *,
+        state: CGState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[CGState], None] | None = None,
+    ) -> SolveResult:
         b = np.asarray(b, dtype=np.complex128)
         if state is not None:
             bnorm = state.bnorm
@@ -356,7 +386,22 @@ class ConjugateGradient:
         axes pass through the stencil, so the gauge field is read once
         per stacked application).  Systems converge and freeze
         individually; the iteration stops when all are done.
+
+        Runs inside one ``cg.solve_batched`` observability span
+        (attributed with the full-stack model flops and batch width).
         """
+        with obs.span("cg.solve_batched", cat="solver", n_rhs=int(np.shape(b)[0])) as sp:
+            result = self._solve_batched(matvec, b, x0)
+            sp.add_flops(result.flops)
+            sp.set(
+                iterations=result.iterations,
+                converged=bool(result.all_converged),
+            )
+        return result
+
+    def _solve_batched(
+        self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> BatchedSolveResult:
         b = np.asarray(b, dtype=np.complex128)
         k = b.shape[0]
         lead = (k,) + (1,) * (b.ndim - 1)

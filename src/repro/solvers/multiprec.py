@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.solvers.cg import (
     BatchedSolveResult,
     MatVec,
@@ -167,7 +168,37 @@ class ReliableUpdateCG:
         with ``checkpoint_every > 0``, ``on_checkpoint`` receives an
         :class:`RUCGState` at the first boundary at least that many
         iterations after the previous checkpoint.
+
+        Runs inside one ``rucg.solve`` observability span attributed
+        with the model flops and the reliable-update count.
         """
+        with obs.span("rucg.solve", cat="solver", resumed=state is not None) as sp:
+            result = self._solve(
+                matvec,
+                b,
+                x0,
+                state=state,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
+            sp.add_flops(result.flops)
+            sp.set(
+                iterations=result.iterations,
+                converged=result.converged,
+                reliable_updates=result.reliable_updates,
+            )
+        return result
+
+    def _solve(
+        self,
+        matvec: MatVec,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        *,
+        state: RUCGState | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[RUCGState], None] | None = None,
+    ) -> SolveResult:
         b = np.asarray(b, dtype=np.complex128)
         if state is not None:
             bnorm = state.bnorm
@@ -277,7 +308,24 @@ class ReliableUpdateCG:
         (``alpha = beta = 0``) but keep riding the stacked matvec, which
         is exactly the amortization trade-off of the paper's multi-RHS
         setup.
+
+        Runs inside one ``rucg.solve_batched`` observability span.
         """
+        with obs.span(
+            "rucg.solve_batched", cat="solver", n_rhs=int(np.shape(b)[0])
+        ) as sp:
+            result = self._solve_batched(matvec, b, x0)
+            sp.add_flops(result.flops)
+            sp.set(
+                iterations=result.iterations,
+                converged=bool(result.all_converged),
+                reliable_updates=result.reliable_updates,
+            )
+        return result
+
+    def _solve_batched(
+        self, matvec: MatVec, b: np.ndarray, x0: np.ndarray | None = None
+    ) -> BatchedSolveResult:
         b = np.asarray(b, dtype=np.complex128)
         k = b.shape[0]
         lead = (k,) + (1,) * (b.ndim - 1)

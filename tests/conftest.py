@@ -7,11 +7,38 @@ enough that the whole suite runs in minutes.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.lattice import GaugeField, Geometry
 from repro.utils.rng import make_rng
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Both profiles are fully deterministic (derandomize=True): the
+    # property suites replay the same seeded examples on every run, so
+    # CI failures reproduce locally byte-for-byte.  "ci" just turns the
+    # crank more times.
+    settings.register_profile(
+        "repro",
+        max_examples=25,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        max_examples=100,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture

@@ -1,0 +1,157 @@
+"""Hardening of the JSONL readers and the TelemetryWriter lifecycle.
+
+The shard discipline is one-writer-per-file, so damage is bounded: a
+killed writer can tear *its own final line* and nothing else.  These
+tests pin the reader behavior for every such case — torn tail, empty
+shard, cross-shard timestamp interleaving — for both the campaign
+telemetry reader and the PR 5 trace reader, plus the writer's
+context-manager/duplicate-close contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.readers import iter_shard, load_spans
+from repro.runtime.telemetry import TelemetryWriter, load_events, summarize
+
+
+def _write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestTelemetryWriterLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        with TelemetryWriter(tmp_path / "telemetry.jsonl", source="drv") as w:
+            w.emit("campaign_start")
+            assert not w.closed
+        assert w.closed
+        events = load_events(tmp_path)
+        assert [e["ev"] for e in events] == ["campaign_start"]
+        assert events[0]["src"] == "drv"
+
+    def test_duplicate_close_is_idempotent(self, tmp_path):
+        w = TelemetryWriter(tmp_path / "telemetry.jsonl", source="drv")
+        w.emit("campaign_start")
+        w.close()
+        w.close()  # the worker dies-then-finally path closes twice
+        with w:  # re-entering a closed writer must not resurrect it
+            pass
+        assert w.closed
+
+    def test_emit_after_close_raises(self, tmp_path):
+        w = TelemetryWriter(tmp_path / "telemetry.jsonl", source="drv")
+        w.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            w.emit("too_late")
+
+    def test_close_after_exception_in_with_block(self, tmp_path):
+        with pytest.raises(ValueError):
+            with TelemetryWriter(tmp_path / "telemetry.jsonl", source="drv") as w:
+                w.emit("campaign_start")
+                raise ValueError("boom")
+        assert w.closed
+
+
+class TestTelemetryReader:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        good = json.dumps({"ev": "task_start", "t": 1.0, "worker": 0, "task": "a"})
+        (tmp_path / "telemetry-w0.jsonl").write_text(
+            good + '\n{"ev": "task_finish", "t": 2.0, "wor', encoding="utf-8"
+        )
+        events = load_events(tmp_path)
+        assert [e["ev"] for e in events] == ["task_start"]
+
+    def test_empty_shard_contributes_nothing(self, tmp_path):
+        (tmp_path / "telemetry-w0.jsonl").write_text("", encoding="utf-8")
+        _write_lines(
+            tmp_path / "telemetry.jsonl",
+            [json.dumps({"ev": "campaign_start", "t": 1.0})],
+        )
+        assert len(load_events(tmp_path)) == 1
+
+    def test_out_of_order_timestamps_across_shards_merge_sorted(self, tmp_path):
+        _write_lines(
+            tmp_path / "telemetry-w0.jsonl",
+            [
+                json.dumps({"ev": "exec_start", "t": 5.0}),
+                json.dumps({"ev": "exec_done", "t": 9.0}),
+            ],
+        )
+        _write_lines(
+            tmp_path / "telemetry-w1.jsonl",
+            [
+                json.dumps({"ev": "exec_start", "t": 3.0}),
+                json.dumps({"ev": "exec_done", "t": 7.0}),
+            ],
+        )
+        assert [e["t"] for e in load_events(tmp_path)] == [3.0, 5.0, 7.0, 9.0]
+
+    def test_summary_survives_torn_worker_shard(self, tmp_path):
+        _write_lines(
+            tmp_path / "telemetry.jsonl",
+            [
+                json.dumps({"ev": "campaign_start", "t": 0.0}),
+                json.dumps({"ev": "worker_spawn", "t": 0.0, "worker": 0}),
+                json.dumps({"ev": "task_start", "t": 1.0, "worker": 0, "task": "a"}),
+                json.dumps({"ev": "task_finish", "t": 2.0, "worker": 0, "ok": True}),
+                json.dumps({"ev": "campaign_finish", "t": 4.0}),
+            ],
+        )
+        # A worker killed mid-write leaves a torn line; the summary must
+        # still account the driver's complete record.
+        (tmp_path / "telemetry-w0.jsonl").write_text(
+            '{"ev": "checkpoint_saved", "t": 1.5}\n{"ev": "exec_do',
+            encoding="utf-8",
+        )
+        s = summarize(tmp_path)
+        assert s.tasks_done == 1
+        assert s.checkpoints == 1
+        assert s.makespan == pytest.approx(4.0)
+        assert 0.0 < s.idle_fraction < 1.0
+
+
+class TestTraceReader:
+    def test_torn_final_line_and_required_keys(self, tmp_path):
+        shard = tmp_path / "trace-p1-t1.jsonl"
+        shard.write_text(
+            json.dumps({"name": "a", "t0": 1.0, "dur": 0.5}) + "\n"
+            + json.dumps({"not_a_span": True}) + "\n"
+            + '{"name": "torn", "t0": 2.0, "du',
+            encoding="utf-8",
+        )
+        assert [s["name"] for s in iter_shard(shard)] == ["a"]
+
+    def test_empty_and_blank_line_shards(self, tmp_path):
+        (tmp_path / "trace-p1-t1.jsonl").write_text("", encoding="utf-8")
+        (tmp_path / "trace-p2-t2.jsonl").write_text("\n\n", encoding="utf-8")
+        assert load_spans(tmp_path) == []
+
+    def test_cross_shard_merge_is_time_ordered(self, tmp_path):
+        _write_lines(
+            tmp_path / "trace-p1-t1.jsonl",
+            [
+                json.dumps({"name": "a", "t0": 2.0, "dur": 0.1}),
+                json.dumps({"name": "b", "t0": 4.0, "dur": 0.1}),
+            ],
+        )
+        _write_lines(
+            tmp_path / "trace-p2-t7.jsonl",
+            [
+                json.dumps({"name": "c", "t0": 1.0, "dur": 0.1}),
+                json.dumps({"name": "d", "t0": 3.0, "dur": 0.1}),
+            ],
+        )
+        assert [s["name"] for s in load_spans(tmp_path)] == ["c", "a", "d", "b"]
+
+    def test_non_trace_files_ignored(self, tmp_path):
+        (tmp_path / "telemetry.jsonl").write_text(
+            json.dumps({"ev": "campaign_start", "t": 0.0}) + "\n", encoding="utf-8"
+        )
+        _write_lines(
+            tmp_path / "trace-p1-t1.jsonl",
+            [json.dumps({"name": "a", "t0": 1.0, "dur": 0.1})],
+        )
+        assert [s["name"] for s in load_spans(tmp_path)] == ["a"]
