@@ -30,7 +30,11 @@ import numpy as np
 from repro.contractions.propagator import Propagator
 from repro.dirac import gamma as g
 from repro.dirac.wilson import WilsonOperator
-from repro.solvers.cg import ConjugateGradient, solve_normal_equations
+from repro.solvers.cg import (
+    ConjugateGradient,
+    solve_normal_equations,
+    solve_normal_equations_batched,
+)
 
 __all__ = ["sequential_propagator", "pion_three_point", "pion_two_point_matrix"]
 
@@ -40,30 +44,75 @@ def sequential_propagator(
     prop_d: Propagator,
     t_snk: int,
     solver: ConjugateGradient | None = None,
+    *,
+    deflation=None,
+    mode: str = "percolumn",
+    stats: dict | None = None,
 ) -> Propagator:
     """Solve the through-the-sink propagator for a pion sink at ``t_snk``.
 
     Returns ``sigma`` with the same (snk, src) index layout as a normal
     propagator: ``sigma(z)^{ab}_{alpha beta} = sum_x [S_u(x;z)^H
     S_d(x;0)]`` restricted to ``t_x = t_snk``.
+
+    ``deflation`` (a low-mode basis of this operator's ``D^H D``) seeds
+    every column solve; ``mode`` is ``"percolumn"`` (12 independent
+    CGNE), ``"batched"`` (one lock-step stack) or ``"block"`` (one
+    shared-Krylov block solve — pass a
+    :class:`repro.solvers.blockcg.BlockCG` via ``solver``).  When
+    ``stats`` is a dict, the accumulated ``iterations``/``matvecs``/
+    ``flops`` of the solves are added into it.
     """
     geom = wilson.geometry
     if not 0 <= t_snk < geom.lt:
         raise ValueError(f"t_snk={t_snk} outside 0..{geom.lt - 1}")
-    solver = solver or ConjugateGradient(tol=1e-10, max_iter=6000)
+    if mode == "percolumn" and solver is None:
+        solver = ConjugateGradient(tol=1e-10, max_iter=6000)
+
+    def account(res) -> None:
+        if stats is not None:
+            stats["iterations"] = stats.get("iterations", 0) + res.iterations
+            stats["matvecs"] = stats.get("matvecs", 0) + res.matvecs
+            stats["flops"] = stats.get("flops", 0.0) + res.flops
+
     # Source: gamma_5 (S_d delta_{t, t_snk}) column by column.
     restricted = np.zeros_like(prop_d.data)
     restricted[:, :, :, t_snk] = prop_d.data[:, :, :, t_snk]
     data = np.zeros_like(prop_d.data)
-    for spin in range(4):
-        for color in range(3):
-            b = g.spin_mul(g.GAMMA5, restricted[..., :, spin, :, color])
-            res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, solver)
-            if not res.converged:
-                raise RuntimeError(
-                    f"sequential solve (spin {spin}, colour {color}) did not converge"
+    if mode in ("batched", "block"):
+        if solver is None:
+            solver = ConjugateGradient(tol=1e-10, max_iter=6000)
+        b = np.stack(
+            [
+                g.spin_mul(g.GAMMA5, restricted[..., :, spin, :, color])
+                for spin in range(4)
+                for color in range(3)
+            ]
+        )
+        res = solve_normal_equations_batched(
+            wilson.apply, wilson.apply_dagger, b, solver, deflation=deflation
+        )
+        account(res)
+        if not res.all_converged:
+            raise RuntimeError("sequential batched solve did not converge")
+        for col in range(12):
+            spin, color = divmod(col, 3)
+            data[..., :, spin, :, color] = g.spin_mul(g.GAMMA5, res.x[col])
+    elif mode == "percolumn":
+        for spin in range(4):
+            for color in range(3):
+                b = g.spin_mul(g.GAMMA5, restricted[..., :, spin, :, color])
+                res = solve_normal_equations(
+                    wilson.apply, wilson.apply_dagger, b, solver, deflation=deflation
                 )
-            data[..., :, spin, :, color] = g.spin_mul(g.GAMMA5, res.x)
+                account(res)
+                if not res.converged:
+                    raise RuntimeError(
+                        f"sequential solve (spin {spin}, colour {color}) did not converge"
+                    )
+                data[..., :, spin, :, color] = g.spin_mul(g.GAMMA5, res.x)
+    else:
+        raise ValueError(f"unknown sequential solve mode {mode!r}")
     return Propagator(data, prop_d.source)
 
 

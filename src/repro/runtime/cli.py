@@ -89,9 +89,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dims=tuple(args.dims),
         masses=tuple(args.masses),
         seed=args.seed,
+        scale=args.scale,
         tol=args.tol,
         checkpoint_every=args.checkpoint_every,
         include_seq=not args.no_seq,
+        n_eigen=args.deflate,
+        n_krylov=args.n_krylov,
+        poly_degree=args.poly_degree,
+        poly_window=tuple(args.poly_window),
+        solver_mode=args.solver_mode,
+        shifts=tuple(args.shifts),
     )
     rt = CampaignRuntime(args.workdir, _build_config(args), spec=spec)
     res = rt.run(graph, faults=_fault_plan(args))
@@ -164,10 +171,35 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--dims", type=int, nargs=4, default=[4, 4, 4, 8])
     p_run.add_argument("--masses", type=float, nargs="+", default=[0.35, 0.5])
     p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--scale", type=float, default=0.35,
+                       help="gauge-field disorder scale (weak coupling "
+                       "~0.05 is the deflation-friendly regime)")
     p_run.add_argument("--tol", type=float, default=1e-7)
     p_run.add_argument("--checkpoint-every", type=int, default=20)
     p_run.add_argument("--no-seq", action="store_true",
                        help="skip the Feynman-Hellmann sequential solves")
+    p_run.add_argument("--deflate", type=int, default=0, metavar="N_EIGEN",
+                       help="compute an N_EIGEN-mode Lanczos basis per mass "
+                       "and deflate every propagator/sequential solve (0 = off)")
+    p_run.add_argument("--n-krylov", type=int, default=0,
+                       help="Lanczos Krylov dimension (0 = auto)")
+    p_run.add_argument("--poly-degree", type=int, default=0,
+                       help="Chebyshev filter degree for the Lanczos "
+                       "basis (0 = plain Lanczos); requires --poly-window")
+    p_run.add_argument("--poly-window", type=float, nargs=2,
+                       default=[], metavar=("LO", "HI"),
+                       help="Chebyshev damping window: LO just above the "
+                       "wanted modes, HI above the spectral radius")
+    p_run.add_argument("--solver-mode",
+                       choices=["percolumn", "batched", "block"],
+                       default="percolumn",
+                       help="how the 12-source solves run: independent "
+                       "checkpointed columns, lock-step batch, or true "
+                       "shared-Krylov block CG")
+    p_run.add_argument("--shifts", type=float, nargs="*", default=[],
+                       help="add a multishift_prop task solving "
+                       "(D^H D + sigma_i) for this shift family on the "
+                       "base mass")
     p_run.set_defaults(fn=_cmd_run)
 
     p_res = sub.add_parser("resume", help="resume a campaign from its ledger")

@@ -11,16 +11,24 @@ correlators across fault-free, fault-injected and ledger-resumed runs.
 
 Task kinds (the paper's Fig. 2 menu):
 
-=================  =======================================================
-``make_gauge``     seeded weak-field configuration -> ``links``
-``gauge_fix``      Coulomb gauge relaxation -> ``links``
-``smear_sources``  12 covariantly smeared point sources -> ``sources``
-``propagator``     12-column Wilson CGNE solve, checkpointed -> ``prop``
-``seq_solve``      through-the-sink sequential solve -> ``prop``
-``contraction``    pion/proton/FH correlators (CPU-cheap) -> ``corr``
-``assemble``       gather all correlators into one container
+==================  ======================================================
+``make_gauge``      seeded weak-field configuration -> ``links``
+``gauge_fix``       Coulomb gauge relaxation -> ``links``
+``smear_sources``   12 covariantly smeared point sources -> ``sources``
+``eigenbasis``      per-configuration Lanczos low modes of ``D^H D``
+                    -> ``eigen`` (shared by every deflated solve below)
+``propagator``      12-column Wilson CGNE solve, checkpointed -> ``prop``;
+                    optionally deflated (``eigen`` param) and batched or
+                    block-solved (``solver_mode`` param)
+``seq_solve``       through-the-sink sequential solve -> ``prop`` (same
+                    deflation/mode knobs)
+``multishift_prop`` one shifted-CG family ``(D^H D + sigma_i)`` per
+                    source column -> ``shifted`` (all shifts for the
+                    cost of the smallest)
+``contraction``     pion/proton/FH correlators (CPU-cheap) -> ``corr``
+``assemble``        gather all correlators into one container
 ``sleep``/``poison``  scheduling/fault-path test stubs (no physics)
-=================  =======================================================
+==================  ======================================================
 """
 
 from __future__ import annotations
@@ -136,6 +144,13 @@ def _load_prop(ctx: ExecContext, ref: str):
     return Propagator(ff["data"], tuple(ff.metadata["source"]))
 
 
+def _load_eigen(ctx: ExecContext, ref: str):
+    """Load a persisted eigenbasis artifact (fingerprint-checked)."""
+    from repro.solvers.lanczos import load_eigenbasis
+
+    return load_eigenbasis(ctx.store.path(ref))
+
+
 # -- executors --------------------------------------------------------------
 
 
@@ -194,6 +209,54 @@ def _exec_smear_sources(params: dict, ctx: ExecContext) -> dict[str, str]:
     return {"sources": ctx.store.save(ctx.task_id, "sources", ff)}
 
 
+def _exec_eigenbasis(params: dict, ctx: ExecContext) -> dict[str, str]:
+    """Per-configuration Lanczos low modes of the normal operator.
+
+    Computed once and cached in the artifact store; every deflated
+    propagator / sequential solve downstream shares this basis.  The
+    basis is seeded from params, so retries and resumed campaigns
+    rebuild the bit-identical basis (its content fingerprint pins the
+    deflated solves and their checkpoints to it).
+    """
+    from repro.dirac.wilson import WilsonOperator
+    from repro.solvers.lanczos import lanczos_lowest, save_eigenbasis
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    wilson = WilsonOperator(gauge, mass=float(params["mass"]))
+    tmpl = np.zeros(gauge.geometry.dims + (4, 3), dtype=np.complex128)
+    window = params.get("poly_window")
+    eigen = lanczos_lowest(
+        wilson.apply_normal,
+        tmpl,
+        int(params["n_eigen"]),
+        n_krylov=int(params["n_krylov"]) if params.get("n_krylov") else None,
+        rng=int(params.get("seed", 0)),
+        poly_degree=int(params.get("poly_degree", 0)),
+        poly_window=(float(window[0]), float(window[1])) if window else None,
+    )
+    ref = f"{ctx.task_id}:eigen"
+    save_eigenbasis(
+        eigen,
+        ctx.store.path(ref),
+        meta={
+            "gauge": params["gauge"],
+            "mass": float(params["mass"]),
+            "poly_degree": int(params.get("poly_degree", 0)),
+            "poly_window": [float(w) for w in window] if window else [],
+        },
+    )
+    ctx.emit(
+        "eigen_done",
+        task=ctx.task_id,
+        n_eigen=eigen.n_eigen,
+        matvecs=eigen.matvecs,
+        fingerprint=eigen.fingerprint,
+        lambda_min=float(eigen.eigenvalues[0]),
+        lambda_max=float(eigen.eigenvalues[-1]),
+    )
+    return {"eigen": ref}
+
+
 def _prop_ckpt_save(
     ctx: ExecContext,
     data: np.ndarray,
@@ -207,6 +270,7 @@ def _prop_ckpt_save(
             "kind": "prop_ckpt",
             "column": column,
             "iterations": totals["iterations"],
+            "matvecs": totals.get("matvecs", 0),
             "flops": totals["flops"],
             "has_state": cg_state is not None,
             "state_scalars": (
@@ -253,24 +317,51 @@ def _prop_ckpt_load(ctx: ExecContext, shape: tuple[int, ...]):
             flops=float(sc["flops"]),
             history=[float(h) for h in ff["state_history"]],
         )
-    totals = {"iterations": int(md["iterations"]), "flops": float(md["flops"])}
+    totals = {
+        "iterations": int(md["iterations"]),
+        "matvecs": int(md.get("matvecs", 0)),
+        "flops": float(md["flops"]),
+    }
     return data, int(md["column"]), state, totals
 
 
 def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
+    """12-column Wilson CGNE propagator.
+
+    ``solver_mode`` selects how the 12 columns are solved:
+
+    ``percolumn`` (default)
+        One CGNE per column with mid-solve checkpointing — the
+        fault-tolerant production path.
+    ``batched``
+        All 12 columns in one lock-step batched CGNE (shared operator
+        applications, per-column Krylov spaces).
+    ``block``
+        All 12 columns in one true block CGNE (shared Krylov space).
+
+    An optional ``eigen`` artifact ref deflates every solve with the
+    per-configuration low-mode basis, in any mode.  Batched/block modes
+    are single-shot (no mid-solve checkpoint); the retry unit is the
+    whole task.
+    """
     from repro.contractions import Propagator, point_source
     from repro.dirac.wilson import WilsonOperator
-    from repro.solvers.cg import ConjugateGradient, solve_normal_equations
+    from repro.solvers.blockcg import BlockCG
+    from repro.solvers.cg import (
+        ConjugateGradient,
+        solve_normal_equations,
+        solve_normal_equations_batched,
+    )
 
     gauge = _load_gauge(ctx, params["gauge"])
     geom = gauge.geometry
     wilson = WilsonOperator(gauge, mass=float(params["mass"]))
     site = tuple(params.get("site", (0, 0, 0, 0)))
-    solver = ConjugateGradient(
-        tol=float(params.get("tol", 1e-8)),
-        max_iter=int(params.get("max_iter", 4000)),
-    )
+    tol = float(params.get("tol", 1e-8))
+    max_iter = int(params.get("max_iter", 4000))
+    mode = str(params.get("solver_mode", "percolumn"))
     ck_every = int(params.get("checkpoint_every", 0))
+    eigen = _load_eigen(ctx, params["eigen"]) if params.get("eigen") else None
 
     if "sources" in params and params["sources"]:
         src_ff = ctx.store.load(params["sources"])
@@ -286,48 +377,76 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
 
     shape = geom.dims + (4, 4, 3, 3)
     data = np.zeros(shape, dtype=np.complex128)
-    start_col = 0
-    resume_state = None
-    totals = {"iterations": 0, "flops": 0.0}
-    restored = _prop_ckpt_load(ctx, shape)
-    if restored is not None:
-        data, start_col, resume_state, totals = restored
-        ctx.emit(
-            "checkpoint_restored",
-            task=ctx.task_id,
-            column=start_col,
-            iteration=0 if resume_state is None else resume_state.iteration,
+    totals = {"iterations": 0, "matvecs": 0, "flops": 0.0}
+
+    if mode in ("batched", "block"):
+        solver = (
+            BlockCG(tol=tol, max_iter=max_iter)
+            if mode == "block"
+            else ConjugateGradient(tol=tol, max_iter=max_iter)
         )
-
-    for col in range(start_col, 12):
-        spin, color = divmod(col, 3)
-
-        def on_checkpoint(st, col=col):
-            _prop_ckpt_save(ctx, data, col, st, totals)
-            ctx.checkpoint_saved()
-
-        res = solve_normal_equations(
-            wilson.apply,
-            wilson.apply_dagger,
-            sources[col],
-            solver,
-            state=resume_state,
-            checkpoint_every=ck_every,
-            on_checkpoint=on_checkpoint if ck_every else None,
+        res = solve_normal_equations_batched(
+            wilson.apply, wilson.apply_dagger, sources, solver, deflation=eigen
         )
-        resume_state = None
-        if not res.converged:
+        if not res.all_converged:
+            bad = [i for i in range(12) if not res.converged[i]]
             raise RuntimeError(
-                f"{ctx.task_id}: column {col} did not converge "
-                f"(relres {res.final_relres:.2e})"
+                f"{ctx.task_id}: columns {bad} did not converge "
+                f"(worst relres {float(np.max(res.final_relres)):.2e})"
             )
-        data[..., :, spin, :, color] = res.x
-        totals["iterations"] += res.iterations
-        totals["flops"] += res.flops
-        if ck_every and col < 11:
-            # Column-boundary checkpoint: completed columns never re-solve.
-            _prop_ckpt_save(ctx, data, col + 1, None, totals)
-            ctx.checkpoint_saved()
+        for col in range(12):
+            spin, color = divmod(col, 3)
+            data[..., :, spin, :, color] = res.x[col]
+        totals["iterations"] = res.iterations
+        totals["matvecs"] = res.matvecs
+        totals["flops"] = res.flops
+    elif mode == "percolumn":
+        solver = ConjugateGradient(tol=tol, max_iter=max_iter)
+        start_col = 0
+        resume_state = None
+        restored = _prop_ckpt_load(ctx, shape)
+        if restored is not None:
+            data, start_col, resume_state, totals = restored
+            ctx.emit(
+                "checkpoint_restored",
+                task=ctx.task_id,
+                column=start_col,
+                iteration=0 if resume_state is None else resume_state.iteration,
+            )
+
+        for col in range(start_col, 12):
+            spin, color = divmod(col, 3)
+
+            def on_checkpoint(st, col=col):
+                _prop_ckpt_save(ctx, data, col, st, totals)
+                ctx.checkpoint_saved()
+
+            res = solve_normal_equations(
+                wilson.apply,
+                wilson.apply_dagger,
+                sources[col],
+                solver,
+                deflation=eigen,
+                state=resume_state,
+                checkpoint_every=ck_every,
+                on_checkpoint=on_checkpoint if ck_every else None,
+            )
+            resume_state = None
+            if not res.converged:
+                raise RuntimeError(
+                    f"{ctx.task_id}: column {col} did not converge "
+                    f"(relres {res.final_relres:.2e})"
+                )
+            data[..., :, spin, :, color] = res.x
+            totals["iterations"] += res.iterations
+            totals["matvecs"] += res.matvecs
+            totals["flops"] += res.flops
+            if ck_every and col < 11:
+                # Column-boundary checkpoint: completed columns never re-solve.
+                _prop_ckpt_save(ctx, data, col + 1, None, totals)
+                ctx.checkpoint_saved()
+    else:
+        raise ValueError(f"{ctx.task_id}: unknown solver_mode {mode!r}")
 
     prop = Propagator(data, site)
     ref = _save_prop(ctx, "prop", prop)
@@ -336,7 +455,10 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
         "solve_done",
         task=ctx.task_id,
         iterations=totals["iterations"],
+        matvecs=totals["matvecs"],
         flops=totals["flops"],
+        solver_mode=mode,
+        deflated=eigen is not None,
     )
     return {"prop": ref}
 
@@ -344,19 +466,117 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
 def _exec_seq_solve(params: dict, ctx: ExecContext) -> dict[str, str]:
     from repro.contractions import sequential_propagator
     from repro.dirac.wilson import WilsonOperator
+    from repro.solvers.blockcg import BlockCG
     from repro.solvers.cg import ConjugateGradient
 
     gauge = _load_gauge(ctx, params["gauge"])
     prop = _load_prop(ctx, params["prop"])
     wilson = WilsonOperator(gauge, mass=float(params["mass"]))
-    solver = ConjugateGradient(
+    tol = float(params.get("tol", 1e-8))
+    max_iter = int(params.get("max_iter", 4000))
+    mode = str(params.get("solver_mode", "percolumn"))
+    eigen = _load_eigen(ctx, params["eigen"]) if params.get("eigen") else None
+    solver = (
+        BlockCG(tol=tol, max_iter=max_iter)
+        if mode == "block"
+        else ConjugateGradient(tol=tol, max_iter=max_iter)
+    )
+    stats: dict = {}
+    seq = sequential_propagator(
+        wilson,
+        prop,
+        int(params["t_snk"]),
+        solver=solver,
+        deflation=eigen,
+        mode=mode,
+        stats=stats,
+    )
+    ctx.emit(
+        "solve_done",
+        task=ctx.task_id,
+        iterations=int(stats.get("iterations", 0)),
+        matvecs=int(stats.get("matvecs", 0)),
+        flops=float(stats.get("flops", 0.0)),
+        solver_mode=mode,
+        deflated=eigen is not None,
+    )
+    return {"prop": _save_prop(ctx, "prop", seq)}
+
+
+def _exec_multishift_prop(params: dict, ctx: ExecContext) -> dict[str, str]:
+    """Shifted-family propagators via multishift CG.
+
+    For every source column, solves the whole family
+    ``(D^H D + sigma_i) y_i = D^H b`` in one Krylov sweep — all shifts
+    for (almost) the cost of the smallest, the rational-HMC trick
+    applied to the campaign's multi-mass analysis.  Multishift CG
+    requires a zero initial guess (shifted residuals must stay collinear
+    with the base residual), so this task is the one solver family
+    deflation cannot seed; its amortization is the shift axis itself.
+    """
+    from repro.contractions import point_source
+    from repro.dirac.wilson import WilsonOperator
+    from repro.solvers.multishift import MultiShiftCG
+
+    gauge = _load_gauge(ctx, params["gauge"])
+    geom = gauge.geometry
+    wilson = WilsonOperator(gauge, mass=float(params["mass"]))
+    shifts = [float(s) for s in params["shifts"]]
+    site = tuple(params.get("site", (0, 0, 0, 0)))
+    solver = MultiShiftCG(
         tol=float(params.get("tol", 1e-8)),
         max_iter=int(params.get("max_iter", 4000)),
     )
-    seq = sequential_propagator(
-        wilson, prop, int(params["t_snk"]), solver=solver
+
+    if "sources" in params and params["sources"]:
+        src_ff = ctx.store.load(params["sources"])
+        sources = src_ff["sources"].reshape((12,) + geom.dims + (4, 3))
+    else:
+        sources = np.stack(
+            [
+                point_source(geom, site, spin, color)
+                for spin in range(4)
+                for color in range(3)
+            ]
+        )
+
+    shape = (len(shifts), 12) + geom.dims + (4, 3)
+    data = np.zeros(shape, dtype=np.complex128)
+    totals = {"iterations": 0, "matvecs": 0, "flops": 0.0}
+    for col in range(12):
+        rhs = wilson.apply_dagger(sources[col])
+        res = solver.solve(wilson.apply_normal, rhs, shifts)
+        if not res.converged:
+            raise RuntimeError(
+                f"{ctx.task_id}: column {col} shifted family did not converge "
+                f"(worst relres {max(res.final_relres):.2e})"
+            )
+        for si in range(len(shifts)):
+            data[si, col] = res.solutions[si]
+        totals["iterations"] += res.iterations
+        totals["matvecs"] += res.matvecs
+        totals["flops"] += res.flops
+
+    ff = FieldFile(
+        {
+            "shifts": shifts,
+            "site": list(site),
+            "iterations": totals["iterations"],
+            "matvecs": totals["matvecs"],
+        }
     )
-    return {"prop": _save_prop(ctx, "prop", seq)}
+    ff.add("data", data)
+    ref = ctx.store.save(ctx.task_id, "shifted", ff)
+    ctx.emit(
+        "solve_done",
+        task=ctx.task_id,
+        iterations=totals["iterations"],
+        matvecs=totals["matvecs"],
+        flops=totals["flops"],
+        solver_mode="multishift",
+        n_shifts=len(shifts),
+    )
+    return {"shifted": ref}
 
 
 def _exec_contraction(params: dict, ctx: ExecContext) -> dict[str, str]:
@@ -412,8 +632,10 @@ EXECUTORS: dict[str, Callable[[dict, ExecContext], dict[str, str]]] = {
     "make_gauge": _exec_make_gauge,
     "gauge_fix": _exec_gauge_fix,
     "smear_sources": _exec_smear_sources,
+    "eigenbasis": _exec_eigenbasis,
     "propagator": _exec_propagator,
     "seq_solve": _exec_seq_solve,
+    "multishift_prop": _exec_multishift_prop,
     "contraction": _exec_contraction,
     "assemble": _exec_assemble,
     "sleep": _exec_sleep,

@@ -148,6 +148,13 @@ class SolveResult:
     reliable_updates:
         Number of double-precision reliable updates performed (0 for the
         pure double-precision solver).
+    matvecs:
+        Actual operator applications performed by this call, counted per
+        right-hand side (a stacked application on ``k`` sides counts
+        ``k``).  This is the campaign cost metric the deflation/block
+        benchmarks and the iteration-count regression harness compare —
+        unlike ``iterations`` it is directly comparable across
+        per-column, lock-step-batched and block solvers.
     """
 
     x: np.ndarray
@@ -157,6 +164,7 @@ class SolveResult:
     flops: float = 0.0
     residual_history: list[float] = field(default_factory=list)
     reliable_updates: int = 0
+    matvecs: int = 0
 
 
 @dataclass
@@ -175,6 +183,7 @@ class BatchedSolveResult:
     flops: float = 0.0
     residual_history: list[np.ndarray] = field(default_factory=list)
     reliable_updates: int = 0
+    matvecs: int = 0
 
     @property
     def n_rhs(self) -> int:
@@ -196,6 +205,7 @@ class BatchedSolveResult:
                 flops=self.flops / k,
                 residual_history=[float(h[i]) for h in self.residual_history],
                 reliable_updates=self.reliable_updates,
+                matvecs=self.matvecs // k,
             )
             for i in range(k)
         ]
@@ -280,7 +290,11 @@ class ConjugateGradient:
                 on_checkpoint=on_checkpoint,
             )
             sp.add_flops(result.flops)
-            sp.set(iterations=result.iterations, converged=result.converged)
+            sp.set(
+                iterations=result.iterations,
+                matvecs=result.matvecs,
+                converged=result.converged,
+            )
         return result
 
     def _solve(
@@ -294,6 +308,7 @@ class ConjugateGradient:
         on_checkpoint: Callable[[CGState], None] | None = None,
     ) -> SolveResult:
         b = np.asarray(b, dtype=np.complex128)
+        matvecs = 0
         if state is not None:
             bnorm = state.bnorm
             x = np.array(state.x, dtype=np.complex128)
@@ -314,6 +329,8 @@ class ConjugateGradient:
             history = []
             flops = self.flops_per_matvec if x0 is not None else 0.0
             iterations = 0
+            if x0 is not None:
+                matvecs += 1
 
         target = (self.tol * bnorm) ** 2
         if rsq > target:
@@ -323,6 +340,7 @@ class ConjugateGradient:
             while iterations < self.max_iter:
                 ap = matvec(p)
                 iterations += 1
+                matvecs += 1
                 flops += self.flops_per_matvec + self.blas_flops_per_iter
                 p_ap = _dot(p, ap).real
                 if p_ap <= 0.0:
@@ -358,6 +376,7 @@ class ConjugateGradient:
                     )
 
         true_res = _norm(b - matvec(x)) / bnorm
+        matvecs += 1
         flops += self.flops_per_matvec
         # Convergence is judged on the true residual (with a small
         # rounding allowance for the recurrence-vs-true drift when the
@@ -374,6 +393,7 @@ class ConjugateGradient:
             final_relres=true_res,
             flops=flops,
             residual_history=history,
+            matvecs=matvecs,
         )
 
     def solve_batched(
@@ -395,6 +415,7 @@ class ConjugateGradient:
             sp.add_flops(result.flops)
             sp.set(
                 iterations=result.iterations,
+                matvecs=result.matvecs,
                 converged=bool(result.all_converged),
             )
         return result
@@ -417,10 +438,12 @@ class ConjugateGradient:
         history: list[np.ndarray] = []
         flops = k * self.flops_per_matvec if x0 is not None else 0.0
         iterations = 0
+        matvecs = k if x0 is not None else 0
 
         while bool(active.any()) and iterations < self.max_iter:
             ap = matvec(p)
             iterations += 1
+            matvecs += k
             flops += k * (self.flops_per_matvec + self.blas_flops_per_iter)
             p_ap = _batch_dot(p, ap)
             ok = active & (p_ap > 0.0)  # per-system breakdown guard
@@ -435,6 +458,7 @@ class ConjugateGradient:
             rsq = new_rsq
 
         true_res = _batch_norm(b - matvec(x)) / safe_bnorm
+        matvecs += k
         flops += k * self.flops_per_matvec
         return BatchedSolveResult(
             x=x,
@@ -443,6 +467,7 @@ class ConjugateGradient:
             final_relres=true_res,
             flops=flops,
             residual_history=history,
+            matvecs=matvecs,
         )
 
 
@@ -453,6 +478,7 @@ def solve_normal_equations(
     solver: ConjugateGradient | None = None,
     x0: np.ndarray | None = None,
     *,
+    deflation=None,
     state: CGState | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[CGState], None] | None = None,
@@ -463,9 +489,20 @@ def solve_normal_equations(
     system ``|b - D x| / |b|``.  Checkpoint arguments pass through to
     :meth:`ConjugateGradient.solve`; the state describes the *normal*
     system, which is all a resume needs.
+
+    ``deflation`` is an optional :class:`repro.solvers.lanczos.
+    LanczosResult` holding low modes of the *normal* operator; when
+    given (and no explicit ``x0``/``state``), the initial guess is the
+    low-mode solution of the normal system — the campaign's shared
+    per-configuration deflation.  The Krylov recurrence after the guess
+    is plain CG, so checkpoint/resume stays bit-exact.
     """
     solver = solver or ConjugateGradient()
     rhs = apply_dagger(b)
+    if deflation is not None and x0 is None and state is None:
+        from repro.solvers.lanczos import deflate_guess
+
+        x0 = deflate_guess(deflation, rhs)
 
     def normal(v: np.ndarray) -> np.ndarray:
         return apply_dagger(apply_op(v))
@@ -492,15 +529,25 @@ def solve_normal_equations_batched(
     b: np.ndarray,
     solver: ConjugateGradient | None = None,
     x0: np.ndarray | None = None,
+    *,
+    deflation=None,
 ) -> BatchedSolveResult:
     """Multi-RHS CGNE on a stack of right-hand sides (leading axis).
 
     The stacked sources share every operator application, so the gauge
     field is read once per iteration for the whole stack — the
     Feynman-Hellmann many-sources-per-configuration pattern.
+
+    ``deflation`` (a :class:`repro.solvers.lanczos.LanczosResult` on the
+    normal operator) seeds the whole stack with its low-mode solutions,
+    exactly as in :func:`solve_normal_equations`.
     """
     solver = solver or ConjugateGradient()
     rhs = apply_dagger(b)
+    if deflation is not None and x0 is None:
+        from repro.solvers.lanczos import deflate_guess
+
+        x0 = deflate_guess(deflation, rhs)
 
     def normal(v: np.ndarray) -> np.ndarray:
         return apply_dagger(apply_op(v))

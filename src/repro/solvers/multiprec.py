@@ -184,6 +184,7 @@ class ReliableUpdateCG:
             sp.add_flops(result.flops)
             sp.set(
                 iterations=result.iterations,
+                matvecs=result.matvecs,
                 converged=result.converged,
                 reliable_updates=result.reliable_updates,
             )
@@ -211,6 +212,7 @@ class ReliableUpdateCG:
             r_anchor = float(state.r_anchor)
             converged = r_anchor <= self.tol * bnorm
             last_ckpt = iterations
+            matvecs = 0  # operator applications in *this* run
         else:
             bnorm = _norm(b)
             if bnorm == 0.0:
@@ -220,6 +222,7 @@ class ReliableUpdateCG:
             # True residual in double precision.
             r_true = b - matvec(x) if x0 is not None else b.copy()
             flops = self.flops_per_matvec if x0 is not None else 0.0
+            matvecs = 1 if x0 is not None else 0
             iterations = 0
             reliable_updates = 0
             history = []
@@ -238,6 +241,7 @@ class ReliableUpdateCG:
             while iterations < self.max_iter:
                 ap = self._compute(matvec(self._truncate(p)))
                 iterations += 1
+                matvecs += 1
                 flops += self.flops_per_matvec + self.blas_flops_per_iter
                 p_ap = _dot(p, ap).real
                 if p_ap <= 0.0:
@@ -258,6 +262,7 @@ class ReliableUpdateCG:
             x += x_lo
             r_true = b - matvec(x)
             flops += self.flops_per_matvec
+            matvecs += 1
             reliable_updates += 1
             r_anchor = _norm(r_true)
             converged = r_anchor <= self.tol * bnorm
@@ -285,6 +290,7 @@ class ReliableUpdateCG:
 
         final = _norm(b - matvec(x)) / bnorm
         flops += self.flops_per_matvec
+        matvecs += 1
         return SolveResult(
             x=x,
             converged=converged,
@@ -293,6 +299,7 @@ class ReliableUpdateCG:
             flops=flops,
             residual_history=history,
             reliable_updates=reliable_updates,
+            matvecs=matvecs,
         )
 
     def solve_batched(
@@ -318,6 +325,7 @@ class ReliableUpdateCG:
             sp.add_flops(result.flops)
             sp.set(
                 iterations=result.iterations,
+                matvecs=result.matvecs,
                 converged=bool(result.all_converged),
                 reliable_updates=result.reliable_updates,
             )
@@ -336,6 +344,7 @@ class ReliableUpdateCG:
         x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.complex128)
         r_true = b - matvec(x) if x0 is not None else b.copy()
         flops = k * self.flops_per_matvec if x0 is not None else 0.0
+        matvecs = k if x0 is not None else 0
         iterations = 0
         reliable_updates = 0
         history: list[np.ndarray] = []
@@ -354,6 +363,7 @@ class ReliableUpdateCG:
             while iterations < self.max_iter:
                 ap = self._compute(matvec(self._truncate(p)))
                 iterations += 1
+                matvecs += k
                 flops += k * (self.flops_per_matvec + self.blas_flops_per_iter)
                 p_ap = _batch_dot(p, ap)
                 ok = active & (p_ap > 0.0)
@@ -375,6 +385,7 @@ class ReliableUpdateCG:
             x += x_lo
             r_true = b - matvec(x)
             flops += k * self.flops_per_matvec
+            matvecs += k
             reliable_updates += 1
             anchor = _batch_norm(r_true)
             converged = anchor <= target
@@ -386,6 +397,7 @@ class ReliableUpdateCG:
 
         true_res = _batch_norm(b - matvec(x)) / safe_bnorm
         flops += k * self.flops_per_matvec
+        matvecs += k
         return BatchedSolveResult(
             x=x,
             converged=true_res <= self.tol,
@@ -394,4 +406,5 @@ class ReliableUpdateCG:
             flops=flops,
             residual_history=history,
             reliable_updates=reliable_updates,
+            matvecs=matvecs,
         )

@@ -53,6 +53,41 @@ def test_solver_work_is_reproducible(measured, reference):
     assert int(measured["solver_iterations"]) == int(reference["solver_iterations"])
 
 
+@pytest.fixture(scope="module")
+def measured_deflated():
+    return golden.compute_deflated_campaign()
+
+
+def test_deflated_campaign_correlators_bitwise(measured_deflated, reference):
+    """The deflated block-CG campaign is deterministic end to end: its
+    assembled correlator container must equal the golden *bitwise* —
+    tolerance-free.  (The deflated path cannot bitwise-match the
+    *undeflated* trajectory — a different Krylov path rounds
+    differently — so the exactness pin is against its own frozen
+    output; agreement with the undeflated physics is covered by the
+    correlator tolerance tests above.)"""
+    got = measured_deflated["defl_correlators"]
+    want = reference["defl_correlators"]
+    assert got.shape == want.shape
+    assert np.array_equal(got, want)
+
+
+def test_deflated_campaign_iterations_pinned(measured_deflated, reference):
+    """Per-task and total CG iteration counts of the deflated campaign
+    are part of the frozen contract — the regression guard on the >=2x
+    matvec win of BENCH_solvers.json."""
+    assert list(measured_deflated["defl_task_names"]) == list(
+        reference["defl_task_names"]
+    )
+    np.testing.assert_array_equal(
+        measured_deflated["defl_task_iterations"],
+        reference["defl_task_iterations"],
+    )
+    assert int(measured_deflated["defl_total_iterations"]) == int(
+        reference["defl_total_iterations"]
+    )
+
+
 def test_golden_correlators_are_physical(reference):
     # The two-point functions must be real-positive at the source time —
     # a sanity guard against regenerating a broken golden file.

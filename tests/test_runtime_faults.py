@@ -26,11 +26,15 @@ from repro.runtime.telemetry import load_events
 # One light campaign: single mass, no sequential solve, checkpoint often
 # enough that a mid-solve kill has state to resume from.
 CAMPAIGN = dict(masses=(0.5,), tol=1e-7, checkpoint_every=10, include_seq=False)
+# The same campaign with low-mode deflation: the eigenbasis task gates
+# the solve, every checkpoint is a DeflatedCGState pinned to the basis
+# fingerprint, and resume must restore both bit-exactly.
+DEFLATED = dict(CAMPAIGN, n_eigen=8, n_krylov=40)
 
 
 def _campaign(workdir, pool="process", faults=None, resume=False,
-              abort_on_worker_death=False, workers=2):
-    graph, spec = build_ga_campaign(**CAMPAIGN)
+              abort_on_worker_death=False, workers=2, spec_kwargs=CAMPAIGN):
+    graph, spec = build_ga_campaign(**spec_kwargs)
     rt = CampaignRuntime(
         workdir,
         CampaignConfig(
@@ -86,6 +90,49 @@ class TestWorkerKill:
         assert res2.all_done
         assert res2.tasks_reused >= 1
         assert _final_bytes(rt2) == reference
+
+
+@pytest.fixture(scope="module")
+def deflated_reference(tmp_path_factory):
+    """Fault-free deflated run (thread pool, same deterministic bytes)."""
+    wd = tmp_path_factory.mktemp("defl-ref")
+    rt, res = _campaign(wd, pool="thread", spec_kwargs=DEFLATED)
+    assert res.all_done
+    return _final_bytes(rt)
+
+
+class TestDeflatedSolves:
+    """The fault-tolerance contract survives deflation: checkpoints wrap
+    DeflatedCGState, resume validates the eigenbasis fingerprint, and
+    the interrupted campaign still lands bitwise on the reference."""
+
+    def test_kill_mid_deflated_solve_resumes_from_checkpoint(
+            self, tmp_path, deflated_reference):
+        faults = FaultPlan({"prop_m0": FaultSpec(kind="kill_worker",
+                                                 at_checkpoint=2)})
+        rt, res = _campaign(tmp_path, faults=faults, spec_kwargs=DEFLATED)
+        assert res.all_done
+        assert res.worker_deaths == 1
+        assert _final_bytes(rt) == deflated_reference
+        events = load_events(tmp_path)
+        restored = [e for e in events if e["ev"] == "checkpoint_restored"]
+        assert restored, "retry did not load the deflated checkpoint"
+        solves = [e for e in events if e["ev"] == "solve_done"]
+        assert solves and all(e.get("deflated") for e in solves)
+
+    def test_allocation_loss_then_resume_deflated_bitwise(
+            self, tmp_path, deflated_reference):
+        faults = FaultPlan({"prop_m0": FaultSpec(kind="kill_worker",
+                                                 at_checkpoint=2)})
+        rt, res = _campaign(tmp_path, faults=faults,
+                            abort_on_worker_death=True,
+                            spec_kwargs=DEFLATED)
+        assert res.interrupted
+
+        rt2, res2 = _campaign(tmp_path, resume=True, spec_kwargs=DEFLATED)
+        assert res2.all_done
+        assert res2.tasks_reused >= 1
+        assert _final_bytes(rt2) == deflated_reference
 
 
 class TestCorruptCheckpoint:

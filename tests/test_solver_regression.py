@@ -1,0 +1,165 @@
+"""Iteration-count regression harness for the solver family.
+
+Pins the iteration count of every production solver on a frozen seeded
+workload against ``tests/data/solver_iteration_baseline.json``.  The
+deflation/block work of the campaign tentpole bought a >=2x matvec
+reduction; this harness is the guard that future PRs cannot silently
+give the win back — any pinned count growing more than 5% over the
+committed baseline fails.
+
+Counts shrinking (a solver got *better*) passes but prints a reminder
+to refresh the baseline.  To regenerate after an intentional
+algorithmic change::
+
+    PYTHONPATH=src python tests/test_solver_regression.py
+
+The workload is the deflation-friendly regime of ``BENCH_solvers.json``
+(weak coupling, light mass, long temporal extent): the seeded 2^3x16
+Wilson operator at ``m=0.02``, ``scale=0.05``, tolerance 1e-7.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonOperator
+from repro.lattice import GaugeField, Geometry
+from repro.solvers import (
+    BlockCG,
+    ConjugateGradient,
+    MultiShiftCG,
+    ReliableUpdateCG,
+    lanczos_lowest,
+)
+from repro.solvers.cg import (
+    solve_normal_equations,
+    solve_normal_equations_batched,
+)
+from repro.solvers.precision import HalfPrecision
+from repro.utils.rng import make_rng
+
+BASELINE = Path(__file__).resolve().parent / "data" / "solver_iteration_baseline.json"
+MAX_GROWTH = 1.05
+
+DIMS = (2, 2, 2, 16)
+SEED = 7
+SCALE = 0.05
+MASS = 0.02
+TOL = 1e-7
+EIGEN = dict(n_eigen=48, n_krylov=100, poly_degree=24, poly_window=(0.6, 66.0))
+SHIFTS = [0.0, 0.1, 0.5]
+
+
+def measure() -> dict[str, int]:
+    """Iteration/matvec counts of every solver on the frozen workload."""
+    geom = Geometry(*DIMS)
+    gauge = GaugeField.random(geom, make_rng(SEED), scale=SCALE)
+    wilson = WilsonOperator(gauge, mass=MASS)
+    shape = geom.dims + (4, 3)
+    rng = make_rng(11)
+    stack = np.stack(
+        [rng.normal(size=shape) + 1j * rng.normal(size=shape) for _ in range(4)]
+    )
+    b = stack[0]
+
+    eigen = lanczos_lowest(
+        wilson.apply_normal, np.zeros(shape, dtype=np.complex128),
+        EIGEN["n_eigen"], n_krylov=EIGEN["n_krylov"], rng=SEED,
+        poly_degree=EIGEN["poly_degree"], poly_window=EIGEN["poly_window"],
+    )
+    assert eigen.residuals.max() < 1e-10, "eigenbasis did not converge"
+
+    cg = ConjugateGradient(tol=TOL, max_iter=30000)
+    block = BlockCG(tol=TOL, max_iter=30000)
+    ru = ReliableUpdateCG(HalfPrecision(), tol=TOL, max_iter=30000)
+
+    counts: dict[str, int] = {}
+    res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, cg)
+    counts["cg_percolumn_iters"] = res.iterations
+    res = solve_normal_equations_batched(
+        wilson.apply, wilson.apply_dagger, stack, cg
+    )
+    counts["cg_batched_iters"] = res.iterations
+    res = solve_normal_equations_batched(
+        wilson.apply, wilson.apply_dagger, stack, block
+    )
+    counts["blockcg_iters"] = res.iterations
+    counts["blockcg_matvecs"] = res.matvecs
+    res = solve_normal_equations(
+        wilson.apply, wilson.apply_dagger, b, cg, deflation=eigen
+    )
+    counts["deflated_cg_iters"] = res.iterations
+    res = solve_normal_equations_batched(
+        wilson.apply, wilson.apply_dagger, stack, block, deflation=eigen
+    )
+    counts["deflated_block_iters"] = res.iterations
+    counts["deflated_block_matvecs"] = res.matvecs
+    res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, ru)
+    counts["reliable_update_iters"] = res.iterations
+    ms = MultiShiftCG(tol=TOL, max_iter=30000).solve(
+        wilson.apply_normal, wilson.apply_dagger(b), SHIFTS
+    )
+    counts["multishift_iters"] = ms.iterations
+    counts["lanczos_setup_matvecs"] = eigen.matvecs
+    return counts
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE.exists(), (
+        f"missing {BASELINE}; run PYTHONPATH=src python "
+        "tests/test_solver_regression.py"
+    )
+    return json.loads(BASELINE.read_text())
+
+
+def test_no_solver_regressed(measured, baseline):
+    grew = []
+    for name, pinned in baseline.items():
+        got = measured.get(name)
+        assert got is not None, f"harness no longer measures {name!r}"
+        if got > math.ceil(pinned * MAX_GROWTH):
+            grew.append(f"{name}: {pinned} -> {got}")
+    assert not grew, (
+        "solver iteration counts regressed >5% over the committed "
+        "baseline: " + "; ".join(grew)
+    )
+
+
+def test_no_unpinned_solvers(measured, baseline):
+    """Every measured counter must be pinned — new solvers join the
+    baseline, they do not run unguarded."""
+    missing = set(measured) - set(baseline)
+    assert not missing, (
+        f"unpinned counters {sorted(missing)}; regenerate the baseline"
+    )
+
+
+def test_deflation_headline_holds(measured):
+    """The campaign tentpole's per-solve win, in miniature: the deflated
+    block solve must stay >=2x cheaper than the undeflated batch."""
+    base = measured["cg_batched_iters"]
+    defl = measured["deflated_block_iters"]
+    assert base >= 2 * defl, f"deflated block {defl} vs batched {base}"
+
+
+def main() -> None:
+    counts = measure()
+    BASELINE.write_text(json.dumps(counts, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE}")
+    for k, v in sorted(counts.items()):
+        print(f"  {k}: {v}")
+
+
+if __name__ == "__main__":
+    main()

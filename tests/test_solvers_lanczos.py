@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.solvers import ConjugateGradient
-from repro.solvers.lanczos import DeflatedCG, LanczosResult, lanczos_lowest
+from repro.solvers.lanczos import (
+    DeflatedCG,
+    LanczosResult,
+    chebyshev_op,
+    lanczos_lowest,
+)
 
 
 def _system(seed=0, n=120, low=(0.001, 0.003, 0.01, 0.03)):
@@ -61,6 +66,59 @@ class TestLanczos:
             lanczos_lowest(mv, tmpl, 0)
         with pytest.raises(ValueError):
             lanczos_lowest(mv, tmpl, 10, n_krylov=5)
+        with pytest.raises(ValueError):
+            lanczos_lowest(mv, tmpl, 4, poly_degree=8)  # missing window
+
+
+class TestChebyshevLanczos:
+    def test_filter_validation(self):
+        mv = lambda v: v
+        with pytest.raises(ValueError):
+            chebyshev_op(mv, 2.0, 1.0, 8)  # lo >= hi
+        with pytest.raises(ValueError):
+            chebyshev_op(mv, -1.0, 1.0, 8)  # lo <= 0
+        with pytest.raises(ValueError):
+            chebyshev_op(mv, 0.5, 1.0, 0)  # degree < 1
+
+    def test_filter_amplifies_below_window(self):
+        """Eigenvectors below the window grow exponentially with the
+        degree; those inside stay bounded by |T_d| <= 1."""
+        a, mv, eigs = _system()
+        op = chebyshev_op(mv, 0.4, 11.0, 12)
+        rng = np.random.default_rng(6)
+        evals, evecs = np.linalg.eigh(a)
+        v_low = evecs[:, 0].reshape(-1, 1, 1)  # lambda ~ 0.001
+        v_bulk = evecs[:, -1].reshape(-1, 1, 1)  # lambda ~ 10, in window
+        amp_low = np.linalg.norm(op(v_low))
+        amp_bulk = np.linalg.norm(op(v_bulk))
+        assert amp_bulk <= 1.0 + 1e-9
+        assert amp_low > 100 * amp_bulk
+
+    def test_poly_lanczos_matches_plain_eigenvalues(self):
+        a, mv, eigs = _system()
+        tmpl = np.zeros((len(a), 1, 1), dtype=complex)
+        res = lanczos_lowest(mv, tmpl, 4, n_krylov=40, rng=7,
+                             poly_degree=12, poly_window=(0.4, 11.0))
+        np.testing.assert_allclose(res.eigenvalues, eigs[:4], rtol=1e-6)
+        assert res.residuals.max() < 1e-6
+
+    def test_poly_resolves_degenerate_cluster(self):
+        """A 4-fold degenerate low cluster: the filtered iteration pulls
+        the whole cluster out of a modest Krylov space."""
+        a, mv, eigs = _system(seed=9, low=(0.002, 0.002, 0.002, 0.002))
+        tmpl = np.zeros((len(a), 1, 1), dtype=complex)
+        res = lanczos_lowest(mv, tmpl, 4, n_krylov=40, rng=8,
+                             poly_degree=16, poly_window=(0.4, 11.0))
+        np.testing.assert_allclose(res.eigenvalues, [0.002] * 4, rtol=1e-6)
+        assert res.residuals.max() < 1e-6
+
+    def test_matvec_accounting_includes_filter(self):
+        a, mv, _ = _system()
+        tmpl = np.zeros((len(a), 1, 1), dtype=complex)
+        res = lanczos_lowest(mv, tmpl, 4, n_krylov=20, rng=10,
+                             poly_degree=6, poly_window=(0.4, 11.0))
+        # degree applications per Krylov step + k Rayleigh-Ritz matvecs.
+        assert res.matvecs == 6 * res.iterations + res.iterations
 
 
 class TestDeflatedCG:
