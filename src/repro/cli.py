@@ -122,6 +122,103 @@ def _backends() -> str:
     return table + "\n" + cache_note
 
 
+def _kernels() -> str:
+    """Compiled-tier report: backend GF/s vs roofline, SoA layout tax.
+
+    Prefers the committed ``BENCH_dslash.json`` artifact (the full
+    ladder, refreshed by ``benchmarks/bench_dslash_backends.py``); when
+    it is absent, falls back to a quick live race at 4^3x8 so the
+    section always renders.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.dirac import WilsonOperator, available_backends
+    from repro.dirac.kernels import NUMBA_AVAILABLE, SOA_LAYOUT_VERSION
+    from repro.lattice import GaugeField, Geometry
+    from repro.perfmodel import host_roofline
+    from repro.utils.rng import make_rng
+
+    bench = Path(__file__).resolve().parents[2] / "BENCH_dslash.json"
+    rows = []
+    notes = []
+    if bench.exists():
+        data = json.loads(bench.read_text())
+        for label, vol in sorted(data["volumes"].items()):
+            for name, e in sorted(vol["backends"].items()):
+                pk = e.get("pack_overhead")
+                rows.append(
+                    (
+                        label,
+                        name,
+                        "yes" if e.get("compiled") else "no",
+                        f"{e['gflops']:.3f}",
+                        f"{100 * e['fraction_of_roofline']:.1f}%"
+                        if "fraction_of_roofline" in e
+                        else "-",
+                        f"{100 * pk['fraction_of_apply']:.1f}%" if pk else "-",
+                    )
+                )
+            s = vol.get("speedup_numba_soa_vs_halfspinor")
+            if s is not None:
+                notes.append(f"{label}: numba_soa {s:.2f}x over halfspinor")
+        rl = data.get("roofline", {})
+        notes.append(
+            f"artifact: BENCH_dslash.json "
+            f"(numba_available={data.get('numba_available')}, "
+            f"soa layout v{data.get('soa_layout_version')}, "
+            f"roofline {rl.get('peak_gflops', 0):.0f} GF/s "
+            f"/ {rl.get('peak_bw_gbs', 0):.0f} GB/s)"
+        )
+    else:
+        roofline = host_roofline()
+        geom = Geometry(4, 4, 4, 8)
+        gauge = GaugeField.random(geom, make_rng(55), scale=0.35)
+        rng = make_rng(56)
+        shape = geom.dims + (4, 3)
+        psi = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        for name in available_backends():
+            w = WilsonOperator(gauge, mass=0.1, backend=name)
+            w.hopping(psi)  # warm-up
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                w.hopping(psi)
+                best = min(best, time.perf_counter() - t0)
+            flops = w.flops_per_apply(psi.shape)
+            ai = flops / (2 * psi.nbytes + w.u.nbytes + w.u_dag.nbytes)
+            gflops = flops / best / 1e9
+            kern = w.kernel
+            pack = (
+                f"{100 * (kern.pack_seconds + kern.unpack_seconds) / max(kern.applications, 1) / best:.1f}%"
+                if hasattr(kern, "pack_seconds")
+                else "-"
+            )
+            rows.append(
+                (
+                    "4x4x4x8",
+                    name,
+                    "yes" if getattr(kern, "compiled", False) else "no",
+                    f"{gflops:.3f}",
+                    f"{100 * gflops / roofline.predict_gflops(ai):.1f}%",
+                    pack,
+                )
+            )
+        notes.append("live race (no BENCH_dslash.json found)")
+    notes.append(
+        f"this host: numba {'importable' if NUMBA_AVAILABLE else 'NOT importable'} "
+        f"(compiled tier {'registered' if NUMBA_AVAILABLE else 'skipped'}), "
+        f"SoA layout v{SOA_LAYOUT_VERSION}"
+    )
+    table = format_table(
+        ["volume", "backend", "compiled", "GF/s", "% roofline", "pack+unpack"],
+        rows,
+        title="Dslash kernel tiers: sustained GF/s vs host roofline",
+    )
+    return table + "\n" + "\n".join(notes)
+
+
 def _comm() -> str:
     """Modeled and measured comm-policy rankings side by side."""
     from repro.autotune.comm import CommPolicyTuner
@@ -329,8 +426,8 @@ def main(argv: list[str] | None = None) -> int:
         "--section",
         choices=[
             "all", "table1", "table2", "table3", "headlines",
-            "memory", "backends", "comm", "perf", "solvers", "campaign",
-            "tts",
+            "memory", "backends", "kernels", "comm", "perf", "solvers",
+            "campaign", "tts",
         ],
         default="all",
     )
@@ -344,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
         "headlines": _headlines,
         "memory": _memory,
         "backends": _backends,
+        "kernels": _kernels,
         "comm": _comm,
         "perf": _perf,
         "solvers": _solvers,

@@ -10,36 +10,61 @@ engineering of exactly this kernel.  This package provides:
   fields before the SU(3) multiply, with workspace buffer reuse and
   cached einsum contraction paths
   (:mod:`repro.dirac.kernels.halfspinor`);
-* a registry plus autotuner integration that times every backend on the
-  actual local volume at first encounter and caches the winner in the
-  JSON tunecache (:mod:`repro.dirac.kernels.registry`).
+* ``numba_soa`` — a compiled tier: the same half-spinor stencil as a
+  Numba-JIT per-site loop over a structure-of-arrays layout, registered
+  only when numba imports (:mod:`repro.dirac.kernels.numba_soa`,
+  :mod:`repro.dirac.kernels.soa`);
+* a registry plus autotuner integration that oracle-verifies and times
+  every backend on the actual local volume at first encounter and caches
+  the winner in the JSON tunecache (:mod:`repro.dirac.kernels.registry`).
 """
 
 from repro.dirac.kernels.base import DslashKernel, Workspace, roll_into
 from repro.dirac.kernels.registry import (
     DEFAULT_BACKEND,
+    ORACLE_ATOL,
+    ORACLE_RTOL,
     available_backends,
     dslash_tune_key,
     get_backend,
     make_kernel,
     register_backend,
     select_backend,
+    verify_backends,
 )
 from repro.dirac.kernels.reference import ReferenceKernel
 from repro.dirac.kernels.halfspinor import HalfSpinorEinsumKernel, HalfSpinorKernel
+from repro.dirac.kernels.soa import (
+    SOA_LAYOUT_VERSION,
+    neighbor_tables,
+    pack_fermion,
+    pack_links,
+    unpack_fermion,
+)
+from repro.dirac.kernels.numba_soa import NUMBA_AVAILABLE, SoAHalfSpinorKernel
 
 __all__ = [
     "DslashKernel",
     "Workspace",
     "roll_into",
     "DEFAULT_BACKEND",
+    "ORACLE_ATOL",
+    "ORACLE_RTOL",
     "available_backends",
     "dslash_tune_key",
     "get_backend",
     "make_kernel",
     "register_backend",
     "select_backend",
+    "verify_backends",
     "ReferenceKernel",
     "HalfSpinorKernel",
     "HalfSpinorEinsumKernel",
+    "SOA_LAYOUT_VERSION",
+    "NUMBA_AVAILABLE",
+    "SoAHalfSpinorKernel",
+    "pack_fermion",
+    "unpack_fermion",
+    "pack_links",
+    "neighbor_tables",
 ]

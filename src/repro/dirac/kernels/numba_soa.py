@@ -1,0 +1,186 @@
+"""Compiled SoA half-spinor dslash — the ``numba_soa`` backend tier.
+
+The NumPy backends are Python-overhead-bound: BENCH_dslash.json has the
+best of them near 0.5 GF/s while the measured host roofline sits far
+higher.  This backend closes that gap with a Numba-JIT per-site stencil
+(``@njit(parallel=True, fastmath=False)`` — no reassociation, so results
+stay reproducible and ulp-comparable to the oracle) over the
+structure-of-arrays layout of :mod:`repro.dirac.kernels.soa`: the
+half-spinor projection, the 3x3 colour multiply and the reconstruction
+are fully scalarized float64 arithmetic with table-driven neighbour
+gathers instead of ``np.roll``.
+
+Numba is an *optional* dependency.  When it cannot be imported the
+backend simply does not register — mirroring how MPI absence is handled
+in :mod:`repro.comm` — and the registry, autotuner and solvers carry on
+with the NumPy tiers (the tune-key aux string records the availability,
+so cached winners raced *with* numba are never replayed *without* it).
+The kernel function itself is plain Python, so the correctness suite
+exercises the identical stencil logic interpreted on tiny volumes even
+on hosts without numba.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.dirac.kernels.base import DslashKernel
+from repro.dirac.kernels.registry import register_backend
+from repro.dirac.kernels.soa import (
+    neighbor_tables,
+    pack_fermion,
+    pack_links,
+    projection_tables,
+    unpack_fermion,
+)
+
+__all__ = ["NUMBA_AVAILABLE", "SoAHalfSpinorKernel"]
+
+try:  # pragma: no cover - exercised on numba-enabled hosts
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+    prange = range
+
+
+def _hopping_soa(
+    out_re, out_im,
+    phi_re, phi_im,
+    u_re, u_im,
+    ud_re, ud_im,
+    nbr_fwd, nbr_bwd,
+    a_idx, a_re, a_im,
+    r_row, r_re, r_im,
+):
+    """Wilson hopping term over the SoA layout, one site per loop step.
+
+    Shapes: fields ``(n, 4, 3, V)``, links ``(4, 3, 3, V)``, neighbour
+    tables ``(4, V)``, coefficient tables ``(8, 2)``.  The body is
+    numba-njit compatible *and* valid interpreted Python — the same
+    source is the compiled production kernel and the pure-Python test
+    subject.
+    """
+    n = phi_re.shape[0]
+    nsite = phi_re.shape[3]
+    for x in prange(nsite):
+        for i in range(n):
+            for s in range(4):
+                for c in range(3):
+                    out_re[i, s, c, x] = 0.0
+                    out_im[i, s, c, x] = 0.0
+            for mu in range(4):
+                for fb in range(2):
+                    if fb == 0:
+                        # forward hop: -(1/2)(1 - g_mu) U_mu(x) psi(x+mu)
+                        d = 2 * mu
+                        xn = nbr_fwd[mu, x]
+                        xl = x
+                        lre = u_re
+                        lim = u_im
+                    else:
+                        # backward hop: -(1/2)(1 + g_mu) U^H(x-mu) psi(x-mu)
+                        d = 2 * mu + 1
+                        xn = nbr_bwd[mu, x]
+                        xl = xn
+                        lre = ud_re
+                        lim = ud_im
+                    for s in range(2):
+                        lo = a_idx[d, s]
+                        ar = a_re[d, s]
+                        ai = a_im[d, s]
+                        # project: h_b = phi[s, b] + a * phi[lo, b] at xn
+                        h0r = phi_re[i, s, 0, xn] + ar * phi_re[i, lo, 0, xn] - ai * phi_im[i, lo, 0, xn]
+                        h0i = phi_im[i, s, 0, xn] + ar * phi_im[i, lo, 0, xn] + ai * phi_re[i, lo, 0, xn]
+                        h1r = phi_re[i, s, 1, xn] + ar * phi_re[i, lo, 1, xn] - ai * phi_im[i, lo, 1, xn]
+                        h1i = phi_im[i, s, 1, xn] + ar * phi_im[i, lo, 1, xn] + ai * phi_re[i, lo, 1, xn]
+                        h2r = phi_re[i, s, 2, xn] + ar * phi_re[i, lo, 2, xn] - ai * phi_im[i, lo, 2, xn]
+                        h2i = phi_im[i, s, 2, xn] + ar * phi_im[i, lo, 2, xn] + ai * phi_re[i, lo, 2, xn]
+                        row = r_row[d, s]
+                        rr = r_re[d, s]
+                        ri = r_im[d, s]
+                        for a in range(3):
+                            # colour multiply on the half field
+                            ur = (
+                                lre[mu, a, 0, xl] * h0r - lim[mu, a, 0, xl] * h0i
+                                + lre[mu, a, 1, xl] * h1r - lim[mu, a, 1, xl] * h1i
+                                + lre[mu, a, 2, xl] * h2r - lim[mu, a, 2, xl] * h2i
+                            )
+                            ui = (
+                                lre[mu, a, 0, xl] * h0i + lim[mu, a, 0, xl] * h0r
+                                + lre[mu, a, 1, xl] * h1i + lim[mu, a, 1, xl] * h1r
+                                + lre[mu, a, 2, xl] * h2i + lim[mu, a, 2, xl] * h2r
+                            )
+                            # accumulate upper row + reconstructed lower row
+                            out_re[i, s, a, x] -= 0.5 * ur
+                            out_im[i, s, a, x] -= 0.5 * ui
+                            out_re[i, row, a, x] -= 0.5 * (rr * ur - ri * ui)
+                            out_im[i, row, a, x] -= 0.5 * (rr * ui + ri * ur)
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised on numba-enabled hosts
+    _HOPPING = njit(parallel=True, fastmath=False, cache=True)(_hopping_soa)
+else:
+    _HOPPING = _hopping_soa
+
+
+class SoAHalfSpinorKernel(DslashKernel):
+    """Numba-JIT half-spinor stencil over the SoA layout.
+
+    The class exists on every host (the pure-Python kernel body backs it
+    for tests); it is *registered* as ``numba_soa`` only when numba
+    imported, so autotuner races and campaign solves never fall into the
+    interpreted path by accident.
+    """
+
+    name = "numba_soa"
+    compiled = NUMBA_AVAILABLE
+
+    def __init__(self, u, u_dag, geometry):
+        super().__init__(u, u_dag, geometry)
+        self._u_re, self._u_im = pack_links(u)
+        self._ud_re, self._ud_im = pack_links(u_dag)
+        self._nbr_fwd, self._nbr_bwd = neighbor_tables(geometry)
+        self._tables = projection_tables()
+        #: cumulative seconds spent converting AoS <-> SoA (the layout
+        #: overhead the kernels report quotes against kernel time)
+        self.pack_seconds = 0.0
+        self.unpack_seconds = 0.0
+
+    def hopping(self, phi: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        n = phi.shape[0]
+        volume = self.geometry.volume
+        sshape = (n, 4, 3, volume)
+        ws = self.workspace
+        phi_re = ws.get("phi_re", sshape, np.float64)
+        phi_im = ws.get("phi_im", sshape, np.float64)
+        out_re = ws.get("out_re", sshape, np.float64)
+        out_im = ws.get("out_im", sshape, np.float64)
+        t0 = time.perf_counter()
+        with obs.span("soa.pack", cat="layout", lead=n):
+            pack_fermion(phi, out_re=phi_re, out_im=phi_im)
+        self.pack_seconds += time.perf_counter() - t0
+        t = self._tables
+        _HOPPING(
+            out_re, out_im,
+            phi_re, phi_im,
+            self._u_re, self._u_im,
+            self._ud_re, self._ud_im,
+            self._nbr_fwd, self._nbr_bwd,
+            t.a_idx, t.a_re, t.a_im,
+            t.r_row, t.r_re, t.r_im,
+        )
+        t1 = time.perf_counter()
+        with obs.span("soa.unpack", cat="layout", lead=n):
+            out = unpack_fermion(out_re, out_im, phi.shape)
+        self.unpack_seconds += time.perf_counter() - t1
+        return out
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised on numba-enabled hosts
+    register_backend("numba_soa")(SoAHalfSpinorKernel)

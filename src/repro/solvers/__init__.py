@@ -26,6 +26,7 @@ from repro.solvers.cg import (
     solve_normal_equations,
     solve_normal_equations_batched,
 )
+from repro.solvers.halfstore import Half16Codec, Half16Field
 from repro.solvers.multiprec import (
     ReliableUpdateCG,
     RUCGState,
@@ -68,6 +69,8 @@ __all__ = [
     "DoublePrecision",
     "SinglePrecision",
     "HalfPrecision",
+    "Half16Codec",
+    "Half16Field",
     "PRECISIONS",
     "ConjugateGradient",
     "ReliableUpdateCG",

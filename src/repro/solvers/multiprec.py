@@ -13,6 +13,15 @@ iteration, arithmetic runs in float32 where the paper uses
 single-precision compute, and the accumulated solution and true residual
 are refreshed in double precision whenever the inner residual has dropped
 by the reliable-update factor ``delta``.
+
+With ``storage="compressed"`` the inner-loop Krylov vectors (residual,
+search direction, partial solution) are additionally *persisted* between
+iterations in the 16-bit fixed-point form via
+:class:`repro.solvers.halfstore.Half16Codec`, shrinking the inner
+working set ~4x.  Because ``decode(encode(v))`` is bitwise identical to
+the dense storage round-trip, the compressed solve produces exactly the
+same iterates — iteration counts pinned for the dense half path cover
+the compressed path too (asserted in ``tests/test_solvers_halfstore.py``).
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ from repro.solvers.cg import (
     _dot,
     _norm,
 )
-from repro.solvers.precision import DoublePrecision, Precision
+from repro.solvers.halfstore import Half16Codec
+from repro.solvers.precision import DoublePrecision, HalfPrecision, Precision
 
 __all__ = ["ReliableUpdateCG", "RUCGState", "save_ru_state", "load_ru_state"]
 
@@ -127,6 +137,15 @@ class ReliableUpdateCG:
     flops_per_matvec, blas_flops_per_iter:
         Model-flop accounting, as in
         :class:`repro.solvers.cg.ConjugateGradient`.
+    storage:
+        How inner-loop Krylov vectors live *between* iterations:
+        ``"dense"`` keeps them as complex128 arrays that have been
+        round-tripped through ``inner_precision`` (the historical
+        behaviour); ``"compressed"`` persists them as
+        :class:`~repro.solvers.halfstore.Half16Field` handles (int16
+        mantissas + per-site float32 scale, requires a
+        :class:`HalfPrecision` inner format).  Both modes execute
+        bit-identical float operations.
     """
 
     inner_precision: Precision
@@ -135,14 +154,48 @@ class ReliableUpdateCG:
     max_iter: int = 10_000
     flops_per_matvec: float = 0.0
     blas_flops_per_iter: float = 0.0
+    storage: str = "dense"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.delta < 1.0:
             raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.storage not in ("dense", "compressed"):
+            raise ValueError(
+                f"storage must be 'dense' or 'compressed', got {self.storage!r}"
+            )
+        if self.storage == "compressed":
+            if not isinstance(self.inner_precision, HalfPrecision):
+                raise ValueError(
+                    "compressed storage requires a HalfPrecision inner format; "
+                    f"got {type(self.inner_precision).__name__}"
+                )
+            self._codec: Half16Codec | None = Half16Codec(self.inner_precision)
+        else:
+            self._codec = None
+        #: resident bytes of the persisted inner Krylov triplet (r, p, x)
+        #: in the most recent inner cycle — reported on solve spans
+        self._last_storage_nbytes = 0
 
     def _truncate(self, v: np.ndarray) -> np.ndarray:
         """One storage round-trip through the inner format."""
         return self.inner_precision.roundtrip(v)
+
+    def _persist(self, v: np.ndarray):
+        """Store a vector in the inner format, returning its handle.
+
+        Dense mode: the handle *is* the round-tripped complex128 array.
+        Compressed mode: the handle is a :class:`Half16Field`; decoding
+        it yields bitwise the same values the dense round-trip would.
+        """
+        if self._codec is not None:
+            return self._codec.encode(v)
+        return self._truncate(v)
+
+    def _use(self, h) -> np.ndarray:
+        """Materialize a persisted handle as a complex128 array."""
+        if self._codec is not None:
+            return self._codec.decode(h)
+        return h
 
     def _compute(self, v: np.ndarray) -> np.ndarray:
         """Model single-precision arithmetic for non-double inner formats."""
@@ -187,6 +240,8 @@ class ReliableUpdateCG:
                 matvecs=result.matvecs,
                 converged=result.converged,
                 reliable_updates=result.reliable_updates,
+                storage=self.storage,
+                storage_nbytes=self._last_storage_nbytes,
             )
         return result
 
@@ -233,13 +288,19 @@ class ReliableUpdateCG:
 
         while iterations < self.max_iter and not converged:
             # --- start (or restart) an inner low-precision cycle -------
-            r = self._truncate(r_true)
-            p = r.copy()
-            x_lo = np.zeros_like(b)  # low-precision partial solution
+            # Krylov vectors live as storage handles between iterations:
+            # dense complex128 round-trips or compressed Half16Fields,
+            # decoding to bitwise-identical values either way.
+            r_s = self._persist(r_true)
+            p_s = r_s.copy()
+            x_s = self._persist(np.zeros_like(b))  # low-precision partial solution
+            self._last_storage_nbytes = int(r_s.nbytes + p_s.nbytes + x_s.nbytes)
+            r = self._use(r_s)
             rsq = _dot(r, r).real
 
             while iterations < self.max_iter:
-                ap = self._compute(matvec(self._truncate(p)))
+                p = self._use(p_s)
+                ap = self._compute(matvec(self.inner_precision.roundtrip(p)))
                 iterations += 1
                 matvecs += 1
                 flops += self.flops_per_matvec + self.blas_flops_per_iter
@@ -247,19 +308,20 @@ class ReliableUpdateCG:
                 if p_ap <= 0.0:
                     break
                 alpha = rsq / p_ap
-                x_lo = self._truncate(x_lo + alpha * p)
-                r = self._truncate(r - alpha * ap)
+                x_s = self._persist(self._use(x_s) + alpha * p)
+                r_s = self._persist(r - alpha * ap)
+                r = self._use(r_s)
                 new_rsq = _dot(r, r).real
                 rnorm = float(np.sqrt(new_rsq))
                 history.append(rnorm / bnorm)
                 beta = new_rsq / rsq
                 rsq = new_rsq
-                p = self._truncate(r + beta * p)
+                p_s = self._persist(r + beta * p)
                 if rnorm <= self.delta * r_anchor or rnorm <= self.tol * bnorm:
                     break
 
             # --- reliable update: fold in and refresh in double ---------
-            x += x_lo
+            x += self._use(x_s)
             r_true = b - matvec(x)
             flops += self.flops_per_matvec
             matvecs += 1
@@ -328,6 +390,8 @@ class ReliableUpdateCG:
                 matvecs=result.matvecs,
                 converged=bool(result.all_converged),
                 reliable_updates=result.reliable_updates,
+                storage=self.storage,
+                storage_nbytes=self._last_storage_nbytes,
             )
         return result
 
@@ -354,14 +418,17 @@ class ReliableUpdateCG:
 
         while iterations < self.max_iter and not bool(converged.all()):
             prev_anchor = anchor.copy()
-            r = self._truncate(r_true)
-            p = r.copy()
-            x_lo = np.zeros_like(b)
+            r_s = self._persist(r_true)
+            p_s = r_s.copy()
+            x_s = self._persist(np.zeros_like(b))
+            self._last_storage_nbytes = int(r_s.nbytes + p_s.nbytes + x_s.nbytes)
+            r = self._use(r_s)
             rsq = _batch_dot(r, r)
             active = ~converged
 
             while iterations < self.max_iter:
-                ap = self._compute(matvec(self._truncate(p)))
+                p = self._use(p_s)
+                ap = self._compute(matvec(self.inner_precision.roundtrip(p)))
                 iterations += 1
                 matvecs += k
                 flops += k * (self.flops_per_matvec + self.blas_flops_per_iter)
@@ -370,19 +437,20 @@ class ReliableUpdateCG:
                 if not bool(ok.any()):
                     break
                 alpha = np.where(ok, rsq / np.where(p_ap > 0.0, p_ap, 1.0), 0.0)
-                x_lo = self._truncate(x_lo + alpha.reshape(lead) * p)
-                r = self._truncate(r - alpha.reshape(lead) * ap)
+                x_s = self._persist(self._use(x_s) + alpha.reshape(lead) * p)
+                r_s = self._persist(r - alpha.reshape(lead) * ap)
+                r = self._use(r_s)
                 new_rsq = _batch_dot(r, r)
                 rnorm = np.sqrt(new_rsq)
                 history.append(rnorm / safe_bnorm)
                 beta = np.where(ok, new_rsq / np.where(rsq > 0.0, rsq, 1.0), 0.0)
                 rsq = new_rsq
-                p = self._truncate(r + beta.reshape(lead) * p)
+                p_s = self._persist(r + beta.reshape(lead) * p)
                 active = ok & (rnorm > self.delta * anchor) & (rnorm > target)
                 if not bool(active.any()):
                     break
 
-            x += x_lo
+            x += self._use(x_s)
             r_true = b - matvec(x)
             flops += k * self.flops_per_matvec
             matvecs += k

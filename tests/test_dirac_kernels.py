@@ -188,3 +188,58 @@ class TestAutotunedSelection:
         k3 = dslash_tune_key(gauge_tiny.geometry, n_rhs=12)
         assert k1 != k2 and k1 != k3
         assert "nrhs=12" in k3.aux
+
+    def test_tune_key_encodes_environment_and_storage(self, geom_tiny):
+        from repro.dirac.kernels import NUMBA_AVAILABLE, SOA_LAYOUT_VERSION
+
+        key = dslash_tune_key(geom_tiny)
+        assert "dtype=complex128" in key.aux
+        assert "storage=double" in key.aux
+        assert f"numba={int(NUMBA_AVAILABLE)}" in key.aux
+        assert f"soa=v{SOA_LAYOUT_VERSION}" in key.aux
+        half = dslash_tune_key(geom_tiny, storage="half")
+        assert "storage=half" in half.aux
+        assert half != key
+
+    def test_cross_environment_replay_invalidated(
+        self, gauge_tiny, tmp_path, monkeypatch
+    ):
+        """A winner raced *with* numba must not be replayed *without* it
+        (and vice versa): flipping availability changes the tune key, so
+        the loaded tunecache misses and the race reruns."""
+        from repro.dirac.kernels import numba_soa
+
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend="auto", tuner=tuner)
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+
+        fresh = KernelAutotuner(rng=1, launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        monkeypatch.setattr(
+            numba_soa, "NUMBA_AVAILABLE", not numba_soa.NUMBA_AVAILABLE
+        )
+        choice = select_backend(fresh, w.u, w.u_dag, gauge_tiny.geometry)
+        assert fresh.tune_calls == 1  # cache miss: re-raced, not replayed
+        assert choice in available_backends()
+
+    def test_verification_gates_promotion(self, gauge_tiny, monkeypatch):
+        """A registered-but-wrong backend never wins the race, no matter
+        how fast: the oracle gate drops it before timing."""
+        from repro.dirac.kernels import registry
+        from repro.dirac.kernels.reference import ReferenceKernel
+
+        class Drifted(ReferenceKernel):
+            name = "drifted"
+
+            def hopping(self, phi):
+                return 1.0001 * super().hopping(phi)
+
+        monkeypatch.setitem(registry._REGISTRY, "drifted", Drifted)
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        w = WilsonOperator(gauge_tiny, mass=0.2, backend="auto", tuner=tuner)
+        assert "drifted" in available_backends()
+        assert w.backend != "drifted"
+        key = dslash_tune_key(gauge_tiny.geometry)
+        entry = tuner._backend_cache[key]
+        assert "drifted" not in entry.times

@@ -1,0 +1,152 @@
+"""SoA layout + compiled-tier stencil: round-trips, parity, oracle gate.
+
+The ``numba_soa`` backend only *registers* when numba imports, but its
+kernel body is plain Python — so the identical stencil logic is
+exercised here interpreted on tiny volumes regardless of whether this
+host has numba.  The parity matrix covers every registered backend plus
+the direct SoA kernel, both checkerboard parities, two volumes, and
+1/12 right-hand sides, all against the ``reference`` oracle at the
+promotion tolerance of the registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonOperator
+from repro.dirac.kernels import (
+    NUMBA_AVAILABLE,
+    ORACLE_ATOL,
+    ORACLE_RTOL,
+    SoAHalfSpinorKernel,
+    available_backends,
+    make_kernel,
+    neighbor_tables,
+    pack_fermion,
+    pack_links,
+    unpack_fermion,
+    verify_backends,
+)
+from repro.dirac.kernels.reference import ReferenceKernel
+from repro.lattice import GaugeField, Geometry
+from repro.utils.rng import make_rng
+from tests.conftest import random_fermion
+
+#: (geometry, n_rhs) parity matrix — tiny volume carries the full RHS
+#: batch, the larger volume the single-RHS case (the interpreted SoA
+#: loop is O(volume * n_rhs) in Python).
+PARITY_CASES = (
+    (Geometry(2, 2, 2, 4), 1),
+    (Geometry(2, 2, 2, 4), 12),
+    (Geometry(4, 4, 4, 4), 1),
+)
+
+
+def _operators(geometry: Geometry):
+    gauge = GaugeField.random(geometry, make_rng(55), scale=0.4)
+    w = WilsonOperator(gauge, mass=0.2, backend="reference")
+    return w.u, w.u_dag, geometry
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n_rhs", [1, 12])
+    def test_fermion_roundtrip_is_bitwise(self, rng, geom_tiny, n_rhs):
+        phi = random_fermion(rng, (n_rhs,) + geom_tiny.dims + (4, 3))
+        re, im = pack_fermion(phi)
+        back = unpack_fermion(re, im, phi.shape)
+        np.testing.assert_array_equal(back, phi)
+
+    def test_preallocated_buffers_are_filled_in_place(self, rng, geom_tiny):
+        phi = random_fermion(rng, (2,) + geom_tiny.dims + (4, 3))
+        re = np.empty((2, 4, 3, geom_tiny.volume))
+        im = np.empty_like(re)
+        out_re, out_im = pack_fermion(phi, out_re=re, out_im=im)
+        assert out_re is re and out_im is im
+        np.testing.assert_array_equal(unpack_fermion(re, im, phi.shape), phi)
+
+    def test_links_roundtrip_is_bitwise(self, gauge_tiny):
+        u = gauge_tiny.u
+        u_re, u_im = pack_links(u)
+        volume = gauge_tiny.geometry.volume
+        moved = np.moveaxis(u.reshape(4, volume, 3, 3), 1, 3)
+        np.testing.assert_array_equal(u_re + 1j * u_im, moved)
+
+
+class TestNeighborTables:
+    def test_tables_match_np_roll(self, geom_small):
+        fwd, bwd = neighbor_tables(geom_small)
+        sites = np.arange(geom_small.volume).reshape(geom_small.dims)
+        for mu in range(4):
+            np.testing.assert_array_equal(
+                fwd[mu].reshape(geom_small.dims), np.roll(sites, -1, axis=mu)
+            )
+            np.testing.assert_array_equal(
+                bwd[mu].reshape(geom_small.dims), np.roll(sites, +1, axis=mu)
+            )
+
+    def test_forward_backward_are_inverse(self, geom_tiny):
+        fwd, bwd = neighbor_tables(geom_tiny)
+        idx = np.arange(geom_tiny.volume)
+        for mu in range(4):
+            np.testing.assert_array_equal(bwd[mu][fwd[mu]], idx)
+            np.testing.assert_array_equal(fwd[mu][bwd[mu]], idx)
+
+
+class TestSoAKernelParity:
+    """The interpreted SoA stencil against the reference oracle."""
+
+    @pytest.mark.parametrize("geometry,n_rhs", PARITY_CASES)
+    def test_matches_reference(self, geometry, n_rhs):
+        u, u_dag, geom = _operators(geometry)
+        ref = ReferenceKernel(u, u_dag, geom)
+        soa = SoAHalfSpinorKernel(u, u_dag, geom)
+        phi = random_fermion(make_rng(9), (n_rhs,) + geom.dims + (4, 3))
+        np.testing.assert_allclose(
+            soa.hopping(phi), ref.hopping(phi), rtol=ORACLE_RTOL, atol=ORACLE_ATOL
+        )
+
+    @pytest.mark.parametrize("parity", [0, 1])
+    def test_hopping_flips_checkerboard_parity(self, geom_tiny, parity):
+        u, u_dag, geom = _operators(geom_tiny)
+        soa = SoAHalfSpinorKernel(u, u_dag, geom)
+        mask = geom.parity_mask(parity)[..., None, None]
+        phi = random_fermion(make_rng(10), (1,) + geom.dims + (4, 3)) * mask
+        out = soa.hopping(phi)
+        np.testing.assert_allclose(out * mask, 0.0, atol=1e-13)
+
+    def test_repeat_application_stable(self, geom_tiny):
+        """Workspace re/im buffer reuse must not leak state."""
+        u, u_dag, geom = _operators(geom_tiny)
+        soa = SoAHalfSpinorKernel(u, u_dag, geom)
+        phi = random_fermion(make_rng(11), (2,) + geom.dims + (4, 3))
+        np.testing.assert_array_equal(soa.hopping(phi), soa.hopping(phi))
+
+    def test_registration_tracks_numba_availability(self):
+        assert ("numba_soa" in available_backends()) == NUMBA_AVAILABLE
+
+
+class TestOracleGate:
+    def test_all_registered_backends_verify(self, geom_tiny):
+        u, u_dag, geom = _operators(geom_tiny)
+        kernels = {n: make_kernel(n, u, u_dag, geom) for n in available_backends()}
+        phi = random_fermion(make_rng(12), (2,) + geom.dims + (4, 3))
+        verified, rejected = verify_backends(kernels, phi)
+        assert rejected == []
+        assert set(verified) == set(kernels)
+
+    def test_drifted_backend_is_rejected(self, geom_tiny):
+        u, u_dag, geom = _operators(geom_tiny)
+
+        class Drifted(ReferenceKernel):
+            def hopping(self, phi):
+                return 1.0001 * super().hopping(phi)
+
+        kernels = {
+            "reference": ReferenceKernel(u, u_dag, geom),
+            "drifted": Drifted(u, u_dag, geom),
+        }
+        phi = random_fermion(make_rng(13), (1,) + geom.dims + (4, 3))
+        verified, rejected = verify_backends(kernels, phi)
+        assert rejected == ["drifted"]
+        assert set(verified) == {"reference"}

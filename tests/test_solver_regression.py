@@ -40,7 +40,7 @@ from repro.solvers.cg import (
     solve_normal_equations,
     solve_normal_equations_batched,
 )
-from repro.solvers.precision import HalfPrecision
+from repro.solvers.precision import DoublePrecision, HalfPrecision
 from repro.utils.rng import make_rng
 
 BASELINE = Path(__file__).resolve().parent / "data" / "solver_iteration_baseline.json"
@@ -101,6 +101,16 @@ def measure() -> dict[str, int]:
     counts["deflated_block_matvecs"] = res.matvecs
     res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, ru)
     counts["reliable_update_iters"] = res.iterations
+    ru_dbl = ReliableUpdateCG(DoublePrecision(), tol=TOL, max_iter=30000)
+    res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, ru_dbl)
+    assert res.converged, "double-sloppy reliable-update solve diverged"
+    counts["reliable_update_double_sloppy_iters"] = res.iterations
+    ru_store = ReliableUpdateCG(
+        HalfPrecision(), tol=TOL, max_iter=30000, storage="compressed"
+    )
+    res = solve_normal_equations(wilson.apply, wilson.apply_dagger, b, ru_store)
+    assert res.converged, "half-storage reliable-update solve diverged"
+    counts["reliable_update_half_storage_iters"] = res.iterations
     ms = MultiShiftCG(tol=TOL, max_iter=30000).solve(
         wilson.apply_normal, wilson.apply_dagger(b), SHIFTS
     )
@@ -142,6 +152,27 @@ def test_no_unpinned_solvers(measured, baseline):
     missing = set(measured) - set(baseline)
     assert not missing, (
         f"unpinned counters {sorted(missing)}; regenerate the baseline"
+    )
+
+
+def test_half_storage_matches_dense_half(measured):
+    """Compressed persistence is a memory format, not an algorithm: the
+    iterate sequence — and so the count — must equal the dense half path
+    exactly."""
+    assert (
+        measured["reliable_update_half_storage_iters"]
+        == measured["reliable_update_iters"]
+    )
+
+
+def test_half_storage_growth_vs_double_sloppy_bounded(measured):
+    """16-bit Krylov storage may cost at most 5% extra iterations over
+    running the sloppy inner loop in full double precision."""
+    half = measured["reliable_update_half_storage_iters"]
+    dbl = measured["reliable_update_double_sloppy_iters"]
+    assert half <= math.ceil(dbl * MAX_GROWTH), (
+        f"half-storage inner loop needs {half} iters vs {dbl} in double "
+        f"(>{(MAX_GROWTH - 1) * 100:.0f}% growth)"
     )
 
 
