@@ -1,16 +1,20 @@
 """Decomposition-runtime benchmark: halo exchange and the CG headline.
 
 Emits ``BENCH_decomp.json`` (repo root) with host metadata, per-(ranks,
-transport, policy) stacked-dslash timings, the measured comm-policy
-ranking, and the acceptance headline: the batched 12-RHS even-odd CGNE
-solve at 8^3x16 through >=4 ranks vs the single-process PR-2 baseline.
+transport, policy) stacked-dslash timings, per-engine rows (interpreted
+vs compiled SoA, per policy, per RHS width) with the overlap-hiding
+fraction, the measured comm-policy ranking, and the acceptance
+headlines: the batched 12-RHS even-odd CGNE solve at 8^3x16 through
+>=4 ranks vs the single-process PR-2 baseline, plus — where numba
+imports — the compiled-vs-interpreted engine race on the same solve.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_decomp_halo.py
 
 or through pytest (registers a report section and asserts the >=1.5x
-headline plus bitwise-equivalent answers)::
+headline plus bitwise-equivalent answers; numba-enabled hosts also
+assert the >=3x compiled-engine speedup and >=50% overlap hiding)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_decomp_halo.py -q
 """
@@ -21,6 +25,7 @@ import json
 from pathlib import Path
 
 from repro.comm.bench import run
+from repro.dirac.kernels import NUMBA_AVAILABLE
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_decomp.json"
 
@@ -41,10 +46,27 @@ def _render(results: dict) -> str:
                         f"{label:>10s}  ranks={nr} {transport:<10s} "
                         f"{policy:<9s} {t * 1e3:8.2f} ms"
                     )
+    eng = results.get("engine_rows", {})
+    for row in eng.get("rows", []):
+        lines.append(
+            f"{eng['volume']:>10s}  ranks={row['ranks']} "
+            f"{row['engine']:<11s} {row['policy']:<9s} rhs={row['n_rhs']:<3d}"
+            f"{row['seconds'] * 1e3:8.2f} ms  "
+            f"(halo wait {row['halo_wait_s'] * 1e3:.2f} ms)"
+        )
+    for engine, per_rhs in eng.get("overlap_efficiency", {}).items():
+        for n_rhs, f in per_rhs.items():
+            lines.append(
+                f"overlap hides {f:.0%} of the {engine} halo wait "
+                f"at rhs={n_rhs}"
+            )
+    for note in eng.get("skipped", []):
+        lines.append(f"skipped: {note}")
     race = results["measured_policy_race"]
     lines.append(
         f"measured race @ {race['volume']} ranks={race['ranks']}: "
-        f"best={race['best']} ({race['speedup_vs_worst']:.2f}x vs worst)"
+        f"best={race['best']} [{race['best_engine']}] "
+        f"({race['speedup_vs_worst']:.2f}x vs worst)"
     )
     cg = results.get("cg_headline")
     if cg:
@@ -53,6 +75,17 @@ def _render(results: dict) -> str:
             f"serial {cg['serial_s']:.1f}s vs distributed {cg['distributed_s']:.1f}s "
             f"= {cg['speedup']:.2f}x (allclose={cg['allclose_vs_serial']})"
         )
+    er = results.get("cg_engine_race", {})
+    if "speedup" in er:
+        lines.append(
+            f"CG engine race @ {er['volume']} x{er['n_rhs']} "
+            f"ranks={er['ranks']}: interpreted "
+            f"{er['interpreted']['seconds']:.1f}s vs compiled "
+            f"{er['compiled']['seconds']:.1f}s = {er['speedup']:.2f}x "
+            f"(allclose={er['allclose']})"
+        )
+    elif er:
+        lines.append(f"CG engine race skipped: {er['skipped']}")
     return "\n".join(lines)
 
 
@@ -64,6 +97,21 @@ def test_decomp_headline_speedup(report):
     assert cg["iterations_serial"] == cg["iterations_distributed"]
     assert cg["speedup"] >= 1.5
     assert results["host"]["cpu_count"] >= 1
+    eng = results["engine_rows"]
+    assert any(r["engine"] == "interpreted" for r in eng["rows"])
+    if NUMBA_AVAILABLE:
+        # compiled-tier acceptance: >=3x batched 12-RHS distributed CG
+        # over the interpreted fused engine, with the overlap schedule
+        # hiding >=50% of the measured halo wait
+        race = results["cg_engine_race"]
+        assert race["allclose"] and race["compiled"]["converged"]
+        assert race["speedup"] >= 3.0
+        assert eng["overlap_efficiency"]["compiled"]["12"] >= 0.5
+    else:
+        # numpy-only leg: compiled rows must be declared dropped, not
+        # silently absent
+        assert any("compiled" in s for s in eng["skipped"])
+        assert "skipped" in results["cg_engine_race"]
 
 
 if __name__ == "__main__":

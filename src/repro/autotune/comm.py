@@ -39,12 +39,17 @@ class CommTuneResult:
 
     ``source`` records where the timings came from: ``"model"`` for the
     performance-model ranking, ``"measured"`` for a wall-clock race of
-    the executed runtime.
+    the executed runtime.  Measured races over several dslash engines
+    additionally report ``best_engine`` and the per-engine breakdown
+    ``engine_times`` (``times`` then holds each policy's best over the
+    raced engines).
     """
 
     best: CommPolicy
     times: dict[CommPolicy, float]
     source: str = "model"
+    best_engine: str = "interpreted"
+    engine_times: dict | None = None
 
     @property
     def speedup_vs_worst(self) -> float:
@@ -93,6 +98,7 @@ class CommPolicyTuner:
         ranks: int,
         n_rhs: int = 4,
         transports: tuple[str, ...] = ("threads",),
+        engines: tuple[str, ...] = ("interpreted",),
         tuner=None,
         timeout: float = 60.0,
         seed: int = 0,
@@ -100,77 +106,120 @@ class CommPolicyTuner:
         """Race executable policies wall-clock on the real runtime.
 
         One :class:`~repro.comm.distributed.DecompRuntime` is stood up
-        per transport; the three halo schedules are raced on it against
-        a random ``n_rhs``-wide spinor stack (warm-up plus best-of-k
-        timed hoppings, QUDA's noise-suppression strategy).  Schedules a
-        geometry cannot run (overlap needs local extent >= 2 along every
-        partitioned direction) are skipped rather than failed.
+        per (transport, engine); the three halo schedules are raced on
+        each against a random ``n_rhs``-wide spinor stack (warm-up plus
+        best-of-k timed hoppings, QUDA's noise-suppression strategy).
+        Schedules a geometry cannot run (overlap needs local extent >= 2
+        along every partitioned direction) are skipped rather than
+        failed.  ``engines`` widens the race across dslash engines
+        (``"interpreted"``/``"compiled"``); candidate names are then
+        ``transport/engine/schedule`` and the cached winner carries the
+        engine choice.
 
         Pass ``tuner`` (a :class:`~repro.autotune.kernel.KernelAutotuner`)
         to persist the race through its tunecache; a throwaway tuner is
-        used otherwise.  Results are keyed by the *modeled* policy each
-        executed combination corresponds to, so measured and modeled
-        rankings are directly comparable.
+        used otherwise.  The tune key's aux carries the rank-grid shape,
+        the batch width, the raced engine set and the environment
+        fingerprint (numba availability, SoA layout version), so a
+        winner raced with numba is never replayed without it — and vice
+        versa — and a different decomposition re-races.  Results are
+        keyed by the *modeled* policy each executed combination
+        corresponds to, so measured and modeled rankings are directly
+        comparable.
         """
         from repro.autotune.kernel import KernelAutotuner, TuneKey
+        from repro.comm.decomp import slab_grid
         from repro.comm.distributed import DecompRuntime
         from repro.comm.exchange import EXECUTED_POLICIES
+        from repro.dirac.kernels.registry import _env_aux
         from repro.utils.rng import make_rng
 
         geom = gauge.geometry
-        key = ("measured", tuple(geom.dims), ranks, n_rhs, tuple(transports))
+        engines = tuple(engines)
+        key = ("measured", tuple(geom.dims), ranks, n_rhs, tuple(transports), engines)
         if key in self._cache:
             return self._cache[key]
         if tuner is None:
             tuner = KernelAutotuner()
+        grid_shape = "x".join(str(g) for g in slab_grid(geom.dims, ranks))
         tkey = TuneKey(
             kernel="halo_policy",
             volume=geom.volume,
             precision="complex128",
-            aux=f"ranks{ranks}|rhs{n_rhs}|{'+'.join(transports)}",
+            aux=(
+                f"ranks{ranks}|rhs{n_rhs}|{'+'.join(transports)}"
+                f"|grid={grid_shape}|engines={'+'.join(engines)}|{_env_aux()}"
+            ),
         )
         rng = make_rng(seed)
         psi = rng.normal(size=(n_rhs,) + geom.dims + (4, 3)) + 1j * rng.normal(
             size=(n_rhs,) + geom.dims + (4, 3)
         )
+        multi_engine = engines != ("interpreted",)
         runtimes: list[DecompRuntime] = []
         try:
             candidates = {}
             for transport in transports:
-                rt = DecompRuntime(
-                    gauge,
-                    mass,
-                    ranks=ranks,
-                    transport=transport,
-                    policy="blocking",
-                    max_rhs=n_rhs,
-                    timeout=timeout,
-                )
-                runtimes.append(rt)
-                for schedule in EXECUTED_POLICIES:
-                    if (
-                        schedule == "overlap"
-                        and rt.grid.partitioned
-                        and rt.grid.min_partitioned_extent() < 2
-                    ):
-                        continue
+                for engine in engines:
+                    rt = DecompRuntime(
+                        gauge,
+                        mass,
+                        ranks=ranks,
+                        transport=transport,
+                        policy="blocking",
+                        engine=engine,
+                        max_rhs=n_rhs,
+                        timeout=timeout,
+                    )
+                    runtimes.append(rt)
+                    for schedule in EXECUTED_POLICIES:
+                        if (
+                            schedule == "overlap"
+                            and rt.grid.partitioned
+                            and rt.grid.min_partitioned_extent() < 2
+                        ):
+                            continue
 
-                    def thunk(rt=rt, schedule=schedule):
-                        if rt.policy != schedule:
-                            rt.set_policy(schedule)
-                        rt.hopping(psi)
+                        def thunk(rt=rt, schedule=schedule):
+                            if rt.policy != schedule:
+                                rt.set_policy(schedule)
+                            rt.hopping(psi)
 
-                    candidates[f"{transport}/{schedule}"] = thunk
+                        # legacy two-part names when only the default
+                        # engine races, so cached entries stay stable
+                        name = (
+                            f"{transport}/{engine}/{schedule}"
+                            if multi_engine
+                            else f"{transport}/{schedule}"
+                        )
+                        candidates[name] = thunk
             entry = tuner.tune_comm_policy(tkey, candidates)
         finally:
             for rt in runtimes:
                 rt.close()
-        times = {
-            CommPolicy.from_executed(*name.split("/")): t
-            for name, t in entry.times.items()
-        }
-        best = CommPolicy.from_executed(*entry.backend.split("/"))
-        result = CommTuneResult(best=best, times=times, source="measured")
+
+        def parse(name: str) -> tuple[CommPolicy, str]:
+            parts = name.split("/")
+            if len(parts) == 3:
+                return CommPolicy.from_executed(parts[0], parts[2]), parts[1]
+            return CommPolicy.from_executed(parts[0], parts[1]), "interpreted"
+
+        engine_times: dict[str, dict[CommPolicy, float]] = {}
+        for name, t in entry.times.items():
+            policy, engine = parse(name)
+            engine_times.setdefault(engine, {})[policy] = t
+        times: dict[CommPolicy, float] = {}
+        for per_policy in engine_times.values():
+            for policy, t in per_policy.items():
+                times[policy] = min(t, times.get(policy, t))
+        best, best_engine = parse(entry.backend)
+        result = CommTuneResult(
+            best=best,
+            times=times,
+            source="measured",
+            best_engine=best_engine,
+            engine_times=engine_times,
+        )
         self._cache[key] = result
         return result
 

@@ -9,6 +9,12 @@ The headline number mirrors the paper's per-node solver speedup claim at
 reproduction scale: a 12-RHS even-odd CGNE solve at 8^3x16 must run at
 least 1.5x faster through the rank-parallel runtime than through the
 serial batched solver, bit-for-bit reproducing its answer.
+
+``bench_engines`` adds per-engine rows (interpreted vs compiled SoA,
+per policy, per RHS width) with halo-wait accounting and the fraction
+of the halo wait the overlap schedule hides; ``bench_cg_engine_race``
+races the compiled SoA engine against the interpreted fused engine on
+the 12-RHS CG acceptance point (numba-enabled hosts only).
 """
 
 from __future__ import annotations
@@ -22,7 +28,15 @@ import time
 
 import numpy as np
 
-__all__ = ["host_metadata", "bench_halo", "bench_cg_headline", "run", "main"]
+__all__ = [
+    "host_metadata",
+    "bench_halo",
+    "bench_engines",
+    "bench_cg_headline",
+    "bench_cg_engine_race",
+    "run",
+    "main",
+]
 
 #: (label, dims) halo-timing ladder; asymmetric volume exercises every
 #: direction distinctly.
@@ -112,6 +126,120 @@ def bench_halo(
     return out
 
 
+def bench_engines(
+    gauge,
+    mass: float,
+    *,
+    ranks: int,
+    n_rhs_list: tuple[int, ...] = (1, N_RHS),
+    repeats: int = REPEATS,
+    engines: tuple[str, ...] | None = None,
+    transport: str = "threads",
+    timeout: float = 300.0,
+) -> dict:
+    """Per-(engine, n_rhs, policy) hopping rows with halo-wait accounting.
+
+    Each row carries the best-of-k wall time plus the per-hopping halo
+    wait and (overlap schedule only) the interior-compute window, both
+    taken as the max over ranks of the workers' cumulative counters.
+    The ``overlap_efficiency`` summary is the fraction of the blocking
+    schedule's halo wait that the overlap schedule hides:
+    ``1 - wait_overlap / wait_blocking``.
+
+    Without numba the compiled tier executes its interpreted per-site
+    fallback bodies — correct but not a performance row — so compiled
+    rows default to numba-enabled hosts only; dropped coverage is
+    recorded under ``"skipped"`` rather than silently omitted.
+    """
+    from repro.comm.distributed import ENGINES, DecompRuntime
+    from repro.comm.exchange import EXECUTED_POLICIES
+    from repro.dirac.kernels import NUMBA_AVAILABLE
+    from repro.utils.rng import make_rng
+
+    if engines is None:
+        engines = ENGINES if NUMBA_AVAILABLE else ("interpreted",)
+    geom = gauge.geometry
+    rng = make_rng(77)
+    rows: list[dict] = []
+    skipped: list[str] = []
+    if "compiled" not in engines:
+        skipped.append(
+            "compiled engine rows (numba unavailable: the interpreted "
+            "fallback bodies are not a performance tier)"
+        )
+    waits: dict = {}
+    for engine in engines:
+        for n_rhs in n_rhs_list:
+            shape = (n_rhs,) + geom.dims + (4, 3)
+            psi = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+            rt = DecompRuntime(
+                gauge,
+                mass,
+                ranks=ranks,
+                transport=transport,
+                policy="blocking",
+                engine=engine,
+                max_rhs=n_rhs,
+                timeout=timeout,
+            )
+            try:
+                for policy in EXECUTED_POLICIES:
+                    if (
+                        policy == "overlap"
+                        and rt.grid.partitioned
+                        and rt.grid.min_partitioned_extent() < 2
+                    ):
+                        skipped.append(
+                            f"{engine}/{policy}/rhs{n_rhs} (local extent < 2)"
+                        )
+                        continue
+                    rt.set_policy(policy)
+                    rt.hopping(psi)  # warm-up
+                    before = rt.halo_stats()
+                    best = np.inf
+                    for _ in range(repeats):
+                        t0 = time.perf_counter()
+                        rt.hopping(psi)
+                        best = min(best, time.perf_counter() - t0)
+                    after = rt.halo_stats()
+                    wait = max(
+                        b["wait_seconds"] - a["wait_seconds"]
+                        for a, b in zip(before, after)
+                    ) / repeats
+                    interior = max(
+                        b["interior_seconds"] - a["interior_seconds"]
+                        for a, b in zip(before, after)
+                    ) / repeats
+                    waits[(engine, n_rhs, policy)] = wait
+                    rows.append({
+                        "engine": engine,
+                        "ranks": ranks,
+                        "n_rhs": n_rhs,
+                        "policy": policy,
+                        "seconds": best,
+                        "halo_wait_s": wait,
+                        "interior_s": interior,
+                    })
+            finally:
+                rt.close()
+
+    efficiency: dict = {}
+    for engine in engines:
+        for n_rhs in n_rhs_list:
+            wb = waits.get((engine, n_rhs, "blocking"))
+            wo = waits.get((engine, n_rhs, "overlap"))
+            if wb and wo is not None and wb > 0:
+                efficiency.setdefault(engine, {})[str(n_rhs)] = 1.0 - wo / wb
+    return {
+        "volume": "x".join(map(str, geom.dims)),
+        "ranks": ranks,
+        "transport": transport,
+        "rows": rows,
+        "overlap_efficiency": efficiency,
+        "skipped": skipped,
+    }
+
+
 def bench_cg_headline(
     *,
     ranks: int = 4,
@@ -188,6 +316,59 @@ def bench_cg_headline(
     }
 
 
+def bench_cg_engine_race(
+    *,
+    ranks: int = 4,
+    n_rhs: int = N_RHS,
+    tol: float = 1e-8,
+    max_iter: int = 600,
+    mass: float = 0.12,
+    timeout: float = 600.0,
+) -> dict:
+    """Batched 12-RHS distributed CGNE: compiled SoA engine (overlap
+    schedule) vs the interpreted fused engine (blocking) at the
+    acceptance volume.  Only meaningful where numba imports — the
+    caller gates on :data:`~repro.dirac.kernels.NUMBA_AVAILABLE`."""
+    from repro.comm.distributed import DistributedCG, DistributedEvenOddOperator
+    from repro.lattice import GaugeField, Geometry
+    from repro.utils.rng import make_rng
+
+    geom = Geometry(*CG_VOLUME)
+    gauge = GaugeField.random(geom, make_rng(21), scale=0.35)
+    rng = make_rng(9)
+    shape = (n_rhs,) + geom.dims + (4, 3)
+    b = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+    out: dict = {
+        "volume": "x".join(map(str, CG_VOLUME)),
+        "n_rhs": n_rhs,
+        "ranks": ranks,
+    }
+    answers = {}
+    for engine, policy in (("interpreted", "blocking"), ("compiled", "overlap")):
+        with DistributedEvenOddOperator(
+            gauge, mass, ranks=ranks, engine=engine, policy=policy,
+            timeout=timeout,
+        ) as op:
+            solver = DistributedCG(op, tol=tol, max_iter=max_iter)
+            solver.solve_batched(b[:1])  # warm-up
+            t0 = time.perf_counter()
+            res = solver.solve_batched(b)
+            out[engine] = {
+                "seconds": time.perf_counter() - t0,
+                "policy": policy,
+                "iterations": int(res.iterations),
+                "converged": bool(res.converged.all()),
+            }
+            answers[engine] = res.x
+    out["speedup"] = out["interpreted"]["seconds"] / out["compiled"]["seconds"]
+    out["allclose"] = bool(
+        np.allclose(answers["interpreted"], answers["compiled"],
+                    rtol=1e-5, atol=1e-8)
+    )
+    return out
+
+
 def run(
     *,
     ranks: tuple[int, ...] = (2, 4),
@@ -236,12 +417,30 @@ def run(
         "ranks": race_ranks,
         "source": res.source,
         "best": res.best.name,
+        "best_engine": res.best_engine,
         "ranking": [[p.name, t] for p, t in res.ranking()],
         "speedup_vs_worst": res.speedup_vs_worst,
     }
 
+    # per-engine rows (interpreted vs compiled, per policy, per nrhs)
+    # with the overlap-hiding fraction, on the acceptance volume
+    results["engine_rows"] = bench_engines(
+        gauge, mass, ranks=race_ranks, n_rhs_list=(1, N_RHS), repeats=repeats
+    )
+
     if cg_ranks is not None:
         results["cg_headline"] = bench_cg_headline(ranks=cg_ranks, mass=mass)
+        from repro.dirac.kernels import NUMBA_AVAILABLE
+
+        if NUMBA_AVAILABLE:
+            results["cg_engine_race"] = bench_cg_engine_race(
+                ranks=cg_ranks, mass=mass
+            )
+        else:
+            results["cg_engine_race"] = {
+                "skipped": "numba unavailable: the compiled engine would "
+                "race its interpreted fallback bodies"
+            }
     return results
 
 

@@ -213,6 +213,28 @@ class RankGrid:
             return min(self.local_dims)
         return min(self.local_dims[mu] for mu in self.partitioned)
 
+    def check_overlap_feasible(self) -> None:
+        """Raise if the overlap halo policy cannot run on this grid.
+
+        Overlap needs a non-degenerate boundary: local extent >= 2 along
+        every partitioned direction, else the LOW and HIGH slabs of a
+        direction coincide and interior/surface are not disjoint.  This
+        is the single precondition both the per-rank stencils and the
+        driver runtime enforce; the error names the offending axes.
+        """
+        thin = [
+            ("xyzt"[mu], self.local_dims[mu])
+            for mu in sorted(self.partitioned)
+            if self.local_dims[mu] < 2
+        ]
+        if thin:
+            axes = ", ".join(f"{name} (extent {L})" for name, L in thin)
+            raise ValueError(
+                "overlap policy needs local extent >= 2 along partitioned "
+                f"directions; offending axes: {axes} "
+                f"(local dims {self.local_dims})"
+            )
+
 
 def slab_grid(
     global_dims: tuple[int, int, int, int], n_ranks: int, axis: int = 0

@@ -46,10 +46,12 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 import traceback
 
 import numpy as np
 
+from repro import obs
 from repro.comm.decomp import LocalGeometry, RankGrid, slab_grid
 from repro.comm.exchange import EXECUTED_POLICIES, HaloExchanger, face_index
 from repro.comm.shm import (
@@ -63,11 +65,21 @@ from repro.comm.shm import (
 from repro.dirac.kernels import make_kernel
 from repro.dirac.kernels.base import roll_into
 from repro.dirac.kernels.halfspinor import _BWD, _FWD, _HalfSpinorBase
+from repro.dirac.kernels.numba_soa import SoAHalfSpinorKernel
+from repro.dirac.kernels.soa import pack_fermion, unpack_fermion
+from repro.dirac.kernels.soa_dist import (
+    _HOPPING_DIST,
+    _PACK_FACES,
+    EMPTY_GHOST,
+    distributed_tables,
+)
 from repro.lattice.gauge import GaugeField
 from repro.solvers.cg import BatchedSolveResult
 
 __all__ = [
+    "ENGINES",
     "RankStencil",
+    "SoARankStencil",
     "RankEvenOdd",
     "CBStencil",
     "CBEvenOdd",
@@ -77,6 +89,12 @@ __all__ = [
     "DistributedEvenOddOperator",
     "DistributedCG",
 ]
+
+#: Executed dslash engines: ``interpreted`` is the NumPy half-spinor
+#: stencil (:class:`RankStencil`), ``compiled`` the SoA kernel tier
+#: (:class:`SoARankStencil`, numba-JIT where numba imports and the same
+#: kernel body interpreted where it does not).
+ENGINES = ("interpreted", "compiled")
 
 LOW, HIGH = 0, 1
 
@@ -146,11 +164,8 @@ class RankStencil:
             raise ValueError(
                 f"unknown executed policy {policy!r}; have {EXECUTED_POLICIES}"
             )
-        if policy == "overlap" and self.part and self.grid.min_partitioned_extent() < 2:
-            raise ValueError(
-                "overlap policy needs local extent >= 2 along partitioned "
-                f"directions (local dims {self.grid.local_dims})"
-            )
+        if policy == "overlap" and self.part:
+            self.grid.check_overlap_feasible()
         self.policy = policy
 
     def _next_out(self, shape: tuple[int, ...]) -> np.ndarray:
@@ -321,6 +336,189 @@ class RankStencil:
                     bv = self._shift_slab(ub[mu], mu, +1, d, side, halos)
                     k._accumulate(acc, bv, _BWD[mu], rs)
                 out[face_index(d, side)] = acc
+
+
+# ---------------------------------------------------------------------------
+# rank-side stencil, compiled SoA engine
+# ---------------------------------------------------------------------------
+
+
+class SoARankStencil:
+    """The Wilson hopping term on one rank's block, over the SoA tier.
+
+    The execution engine is the batched SoA stencil of
+    :mod:`repro.dirac.kernels.soa_dist` — numba-JIT where numba imports,
+    the identical body interpreted where it does not.  The distributed
+    neighbour tables encode ghost reads directly (``-(slot) - 1``
+    entries), so the kernel consumes received faces in place with no
+    halo-padded copy of the field.
+
+    Unlike :class:`RankStencil`, links are NOT pre-scaled by ``-1/2``:
+    the SoA kernel body carries the factor in its accumulate lines, so
+    the per-site float64 operation chain is *identical* to the serial
+    ``numba_soa`` backend — distributed output is bitwise equal to the
+    serial kernel for every rank grid and policy.
+
+    The interior/surface split gives true comm/compute overlap: under
+    the ``overlap`` policy the interior site list (no ghost reads) runs
+    between :meth:`HaloExchanger.begin` and ``complete``, then the
+    surface list consumes the ghosts.  Since both lists partition the
+    site set and each site's chain never depends on the other list,
+    overlap output is bitwise equal to blocking.
+
+    The output buffer protocol matches :class:`RankStencil` (two
+    alternating workspace slots; callers hold at most one prior result).
+    """
+
+    def __init__(
+        self,
+        u: np.ndarray,
+        u_dag: np.ndarray,
+        geometry: LocalGeometry,
+        grid: RankGrid,
+        rank: int,
+        fabric: Fabric,
+        policy: str = "blocking",
+    ):
+        self.kernel = SoAHalfSpinorKernel(u, u_dag, geometry)
+        self._out_slot = 0
+        self.grid = grid
+        self.rank = rank
+        self.part = grid.partitioned
+        self.exchanger = HaloExchanger(fabric, grid, rank)
+        self._dist = distributed_tables(geometry.dims, self.part)
+        self.geometry = geometry
+        #: cumulative seconds in the interior pass of the overlap
+        #: schedule — the compute window the halo wait hides behind
+        self.interior_seconds = 0.0
+        self.policy = ""
+        self.set_policy(policy)
+
+    def set_policy(self, policy: str) -> None:
+        if policy not in EXECUTED_POLICIES:
+            raise ValueError(
+                f"unknown executed policy {policy!r}; have {EXECUTED_POLICIES}"
+            )
+        if policy == "overlap" and self.part:
+            self.grid.check_overlap_feasible()
+        self.policy = policy
+
+    def _next_out(self, shape: tuple[int, ...]) -> np.ndarray:
+        """One of two alternating output buffers (see class docstring)."""
+        self._out_slot ^= 1
+        return self.kernel.workspace.get(f"dx_out{self._out_slot}", shape)
+
+    # -- face pack / ghost fill ---------------------------------------------
+    def _pack_mu(self, mu: int, n: int, phi_re, phi_im) -> dict:
+        """SoA face buffers for one direction: projected low face and
+        ``U^H``-multiplied high face, 12 reals per site per RHS."""
+        k = self.kernel
+        ws = k.workspace
+        dt = self._dist
+        t = k._tables
+        F = dt.face_volume[mu]
+        fbuf = ws.get(f"dx_face_f{mu}", (2, n, 2, 3, F), np.float64)
+        bbuf = ws.get(f"dx_face_b{mu}", (2, n, 2, 3, F), np.float64)
+        _PACK_FACES(fbuf, phi_re, phi_im, k._ud_re, k._ud_im,
+                    dt.face_sites[(mu, LOW)], mu, 0,
+                    t.a_idx, t.a_re, t.a_im)
+        _PACK_FACES(bbuf, phi_re, phi_im, k._ud_re, k._ud_im,
+                    dt.face_sites[(mu, HIGH)], mu, 1,
+                    t.a_idx, t.a_re, t.a_im)
+        return {("f", mu): fbuf, ("b", mu): bbuf}
+
+    def _fill_ghosts(self, halos: dict, mus, ghosts) -> None:
+        """Copy received faces into the per-direction ghost segments
+        (transport storage is only valid until the next-but-one round)."""
+        gf_re, gf_im, gb_re, gb_im = ghosts
+        dt = self._dist
+        for mu in mus:
+            off = dt.ghost_offset[mu]
+            F = dt.face_volume[mu]
+            f = halos[("f", mu)]
+            gf_re[:, :, :, off:off + F] = f[0]
+            gf_im[:, :, :, off:off + F] = f[1]
+            b = halos[("b", mu)]
+            gb_re[:, :, :, off:off + F] = b[0]
+            gb_im[:, :, :, off:off + F] = b[1]
+
+    def _stencil(self, sites, phi_re, phi_im, out_re, out_im, ghosts) -> None:
+        k = self.kernel
+        t = k._tables
+        dt = self._dist
+        gf_re, gf_im, gb_re, gb_im = ghosts
+        _HOPPING_DIST(
+            out_re, out_im,
+            phi_re, phi_im,
+            k._u_re, k._u_im,
+            k._ud_re, k._ud_im,
+            dt.nbr_fwd, dt.nbr_bwd,
+            gf_re, gf_im, gb_re, gb_im,
+            sites,
+            t.a_idx, t.a_re, t.a_im,
+            t.r_row, t.r_re, t.r_im,
+        )
+
+    def hopping(self, phi: np.ndarray) -> np.ndarray:
+        """``H phi`` on the local block ``(n,) + local_dims + (4, 3)``."""
+        k = self.kernel
+        k.applications += 1
+        n = phi.shape[0]
+        sshape = (n, 4, 3, self.geometry.volume)
+        ws = k.workspace
+        phi_re = ws.get("phi_re", sshape, np.float64)
+        phi_im = ws.get("phi_im", sshape, np.float64)
+        out_re = ws.get("out_re", sshape, np.float64)
+        out_im = ws.get("out_im", sshape, np.float64)
+        t0 = time.perf_counter()
+        with obs.span("soa.pack", cat="layout", lead=n):
+            pack_fermion(phi, out_re=phi_re, out_im=phi_im)
+        k.pack_seconds += time.perf_counter() - t0
+        dt = self._dist
+        if self.part:
+            gshape = (n, 2, 3, max(dt.n_ghost, 1))
+            ghosts = (
+                ws.get("dx_gf_re", gshape, np.float64),
+                ws.get("dx_gf_im", gshape, np.float64),
+                ws.get("dx_gb_re", gshape, np.float64),
+                ws.get("dx_gb_im", gshape, np.float64),
+            )
+            if self.policy == "pairwise":
+                for mu in sorted(self.part):
+                    halos = self.exchanger.exchange(
+                        self._pack_mu(mu, n, phi_re, phi_im)
+                    )
+                    self._fill_ghosts(halos, (mu,), ghosts)
+                self._stencil(dt.all_sites, phi_re, phi_im,
+                              out_re, out_im, ghosts)
+            else:
+                faces = {}
+                for mu in sorted(self.part):
+                    faces.update(self._pack_mu(mu, n, phi_re, phi_im))
+                self.exchanger.begin(faces)
+                if self.policy == "overlap":
+                    ti = time.perf_counter()
+                    self._stencil(dt.interior_sites, phi_re, phi_im,
+                                  out_re, out_im, ghosts)
+                    self.interior_seconds += time.perf_counter() - ti
+                    halos = self.exchanger.complete()
+                    self._fill_ghosts(halos, sorted(self.part), ghosts)
+                    self._stencil(dt.surface_sites, phi_re, phi_im,
+                                  out_re, out_im, ghosts)
+                else:
+                    halos = self.exchanger.complete()
+                    self._fill_ghosts(halos, sorted(self.part), ghosts)
+                    self._stencil(dt.all_sites, phi_re, phi_im,
+                                  out_re, out_im, ghosts)
+        else:
+            self._stencil(dt.all_sites, phi_re, phi_im, out_re, out_im,
+                          (EMPTY_GHOST, EMPTY_GHOST, EMPTY_GHOST, EMPTY_GHOST))
+        out = self._next_out(phi.shape)
+        t1 = time.perf_counter()
+        with obs.span("soa.unpack", cat="layout", lead=n):
+            unpack_fermion(out_re, out_im, phi.shape, out=out)
+        k.unpack_seconds += time.perf_counter() - t1
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -766,6 +964,122 @@ def _rank_cgne(
     return x_full, iterations, converged, relres
 
 
+def _ru_loop(
+    normal,
+    red: SliceReducer,
+    rhs: np.ndarray,
+    tol: float,
+    max_iter: int,
+    delta: float,
+) -> tuple[np.ndarray, int, np.ndarray, int]:
+    """Reliable-update CG on the normal system (collective throughout).
+
+    The distributed analogue of :class:`ReliableUpdateCG`: the Krylov
+    recurrence runs in reduced-precision *storage* (every vector update
+    rounds through complex64) while reductions and the reliable solution
+    stay double.  When the sloppy residual of every system drops below
+    ``delta`` times its running maximum, the group folds the sloppy
+    accumulator into the double solution, recomputes the true residual
+    in double, and restarts the recurrence from it.  Every trigger
+    decision comes from an allreduce, so the schedule — and hence the
+    iterates — is identical on every rank count.
+    Returns ``(x, iterations, true_res, reliable_updates)``.
+    """
+
+    def store(v: np.ndarray) -> np.ndarray:
+        return v.astype(np.complex64).astype(np.complex128)
+
+    k = rhs.shape[0]
+    lead = (k,) + (1,) * (rhs.ndim - 1)
+    bnorm = np.sqrt(red.batch_dot(rhs, rhs))
+    safe_bnorm = np.where(bnorm > 0.0, bnorm, 1.0)
+    target = (tol * bnorm) ** 2
+    x = np.zeros_like(rhs)  # reliable (double) solution
+    x_s = np.zeros_like(rhs)  # sloppy accumulator since the last update
+    r = store(rhs)
+    p = r.copy()
+    tmp = np.empty_like(rhs)
+    rsq = red.batch_dot(r, r)
+    rsq_max = rsq.copy()
+    iterations = 0
+    reliable_updates = 0
+    while bool((rsq > target).any()) and iterations < max_iter:
+        ap = normal(p)
+        iterations += 1
+        p_ap = red.batch_dot(p, ap)
+        ok = (rsq > target) & (p_ap > 0.0)  # per-system breakdown guard
+        alpha = np.where(ok, rsq / np.where(p_ap > 0.0, p_ap, 1.0), 0.0)
+        al = alpha.reshape(lead)
+        np.multiply(p, al, out=tmp)
+        x_s = store(x_s + tmp)
+        np.multiply(ap, al, out=tmp)
+        r = store(r - tmp)
+        new_rsq = red.batch_dot(r, r)
+        rsq_max = np.maximum(rsq_max, new_rsq)
+        trigger = bool(np.all(new_rsq <= (delta * delta) * rsq_max)) or bool(
+            np.all(new_rsq <= target)
+        )
+        if trigger:
+            x += x_s
+            x_s = np.zeros_like(rhs)
+            r = store(rhs - normal(x))
+            rsq = red.batch_dot(r, r)
+            rsq_max = rsq.copy()
+            p = r.copy()
+            reliable_updates += 1
+            continue
+        beta = np.where(ok, new_rsq / np.where(rsq > 0.0, rsq, 1.0), 0.0)
+        np.multiply(p, beta.reshape(lead), out=p)
+        p += r
+        rsq = new_rsq
+
+    x += x_s
+    resid = rhs - normal(x)
+    true_res = np.sqrt(red.batch_dot(resid, resid)) / safe_bnorm
+    return x, iterations, true_res, reliable_updates
+
+
+def _rank_rucg(
+    eo: RankEvenOdd,
+    red: SliceReducer,
+    b: np.ndarray,
+    tol: float,
+    max_iter: int,
+    delta: float,
+    cb: CBEvenOdd | None = None,
+) -> tuple[np.ndarray, int, np.ndarray, np.ndarray, int]:
+    """Like :func:`_rank_cgne` with the reliable-update inner loop.
+    Returns ``(x_local, iterations, converged, relres, reliable_updates)``.
+    """
+    if cb is not None:
+        pb_o = cb.pack(b, 1)
+        b_prep = cb.prepare_rhs_packed(cb.pack(b, 0), pb_o)
+        rhs = np.array(cb.schur_dagger_fast(b_prep), copy=True)
+        x, iterations, true_res, ru = _ru_loop(
+            cb.schur_normal_fast, red, rhs, tol, max_iter, delta
+        )
+        schur_x = cb.schur_fast(x)
+    else:
+        b_prep = eo.prepare_rhs(b)
+        rhs = eo.schur_dagger_apply(b_prep)
+        x, iterations, true_res, ru = _ru_loop(
+            eo.schur_normal_fast, red, rhs, tol, max_iter, delta
+        )
+        schur_x = eo.schur_apply(x)
+    converged = true_res <= tol
+    pnorm = np.sqrt(red.batch_dot(b_prep, b_prep))
+    psafe = np.where(pnorm > 0.0, pnorm, 1.0)
+    orig = b_prep - schur_x
+    relres = np.where(
+        pnorm > 0.0, np.sqrt(red.batch_dot(orig, orig)) / psafe, true_res
+    )
+    if cb is not None:
+        x_full = cb.reconstruct_packed(x, pb_o, b)
+    else:
+        x_full = eo.reconstruct(x, b)
+    return x_full, iterations, converged, relres, ru
+
+
 # ---------------------------------------------------------------------------
 # the per-rank worker program
 # ---------------------------------------------------------------------------
@@ -783,13 +1097,20 @@ class _RankContext:
         mass: float,
         backend: str,
         policy: str,
+        engine: str = "interpreted",
     ):
         geometry = grid.local_geometry(rank)
         u_dag = np.conjugate(np.swapaxes(u_local, -1, -2))
         self.mass = float(mass)
-        self.stencil = RankStencil(
-            u_local, u_dag, geometry, grid, rank, fabric, policy, backend
-        )
+        self.engine = engine
+        if engine == "compiled":
+            self.stencil = SoARankStencil(
+                u_local, u_dag, geometry, grid, rank, fabric, policy
+            )
+        else:
+            self.stencil = RankStencil(
+                u_local, u_dag, geometry, grid, rank, fabric, policy, backend
+            )
         self.eo = RankEvenOdd(self.stencil, mass, geometry)
         self._geometry = geometry
         self._u_local = u_local
@@ -811,8 +1132,13 @@ class _RankContext:
         """Checkerboard-packed Schur fast path, where the grid allows it
         (t unpartitioned, every global extent even); else ``None``."""
         if self._cb is False:
-            ok = 3 not in self._grid.partitioned and all(
-                L % 2 == 0 for L in self._grid.global_dims
+            # The compiled engine batches all sites through one SoA
+            # stencil; the t-packed half-volume trick is an interpreted-
+            # path optimization and does not apply.
+            ok = (
+                self.engine != "compiled"
+                and 3 not in self._grid.partitioned
+                and all(L % 2 == 0 for L in self._grid.global_dims)
             )
             self._cb = (
                 CBEvenOdd(
@@ -865,14 +1191,37 @@ def worker_main(ctx: _RankContext, chan, io) -> None:
                 ctx.stencil.set_policy(payload)
                 chan.send(("ok", None))
                 continue
+            if cmd == "stats":
+                ex = ctx.stencil.exchanger
+                chan.send(("ok", {
+                    "engine": ctx.engine,
+                    "rounds": ex.rounds,
+                    "messages": ex.messages,
+                    "bytes_sent": ex.bytes_sent,
+                    "wait_seconds": ex.wait_seconds,
+                    "interior_seconds": getattr(
+                        ctx.stencil, "interior_seconds", 0.0
+                    ),
+                }))
+                continue
             if cmd == "cg":
                 b = np.array(io.get(payload), copy=True)
-                x, iters, conv, relres = _rank_cgne(
-                    ctx.eo, ctx.reducer, b, payload["tol"], payload["max_iter"],
-                    cb=ctx.cb,
-                )
-                meta = io.put(x)
-                meta.update(iterations=iters, converged=conv, relres=relres)
+                if payload.get("reliable"):
+                    x, iters, conv, relres, ru = _rank_rucg(
+                        ctx.eo, ctx.reducer, b,
+                        payload["tol"], payload["max_iter"],
+                        payload.get("delta", 0.1), cb=ctx.cb,
+                    )
+                    meta = io.put(x)
+                    meta.update(iterations=iters, converged=conv,
+                                relres=relres, reliable_updates=ru)
+                else:
+                    x, iters, conv, relres = _rank_cgne(
+                        ctx.eo, ctx.reducer, b, payload["tol"],
+                        payload["max_iter"], cb=ctx.cb,
+                    )
+                    meta = io.put(x)
+                    meta.update(iterations=iters, converged=conv, relres=relres)
                 chan.send(("ok", meta))
                 continue
             phi = io.get(payload)
@@ -935,7 +1284,8 @@ def _shm_worker_entry(cfg: dict, shm_name: str, barrier, conn) -> None:
             arena.view(("links", rank), (4,) + grid.local_dims + (3, 3)), copy=True
         )
         ctx = _RankContext(
-            rank, grid, fabric, u_local, cfg["mass"], cfg["backend"], cfg["policy"]
+            rank, grid, fabric, u_local, cfg["mass"], cfg["backend"],
+            cfg["policy"], cfg.get("engine", "interpreted"),
         )
         worker_main(ctx, _PipeChannel(conn), _ShmIO(arena, rank))
     except Exception:  # pragma: no cover - defensive: surfaced to the driver
@@ -984,6 +1334,21 @@ def _normalize_policy(policy) -> str:
     raise ValueError(f"unknown halo policy {policy!r}; have {EXECUTED_POLICIES}")
 
 
+def _normalize_engine(engine) -> str:
+    from repro.dirac.kernels.numba_soa import NUMBA_AVAILABLE
+
+    if engine in (None, "auto"):
+        # compiled only where numba actually JITs: the interpreted
+        # execution of the SoA kernel body is a correctness vehicle, not
+        # a production engine.
+        return "compiled" if NUMBA_AVAILABLE else "interpreted"
+    if engine in ENGINES:
+        return engine
+    raise ValueError(
+        f"unknown dslash engine {engine!r}; have {ENGINES + ('auto',)}"
+    )
+
+
 class DecompRuntime:
     """Driver of one worker per rank over a chosen transport.
 
@@ -1002,10 +1367,15 @@ class DecompRuntime:
     policy:
         Executed halo policy (``"blocking"``/``"pairwise"``/``"overlap"``,
         or a :class:`CommPolicy`/:class:`HaloGranularity`).
+    engine:
+        Dslash execution engine: ``"interpreted"`` (NumPy half-spinor
+        stencil), ``"compiled"`` (SoA tier with the interior/surface
+        split), or ``"auto"`` (compiled iff numba imported).
     backend:
-        Dslash kernel backend; ``None``/``"auto"`` resolves through
-        ``tuner`` on the *local* volume when given, else the registry
-        default.
+        Dslash kernel backend of the interpreted engine; ``None``/
+        ``"auto"`` resolves through ``tuner`` on the *local* volume when
+        given, else the registry default.  The compiled engine always
+        runs ``numba_soa``.
     max_rhs:
         Widest multi-RHS stack the transport is sized for.
     timeout:
@@ -1022,6 +1392,7 @@ class DecompRuntime:
         grid: tuple[int, int, int, int] | None = None,
         transport="threads",
         policy="blocking",
+        engine="interpreted",
         backend: str | None = None,
         tuner=None,
         antiperiodic_t: bool = True,
@@ -1038,11 +1409,14 @@ class DecompRuntime:
         self.grid = RankGrid.make(geom.dims, tuple(grid))
         self.transport = _normalize_transport(transport)
         self.policy = _normalize_policy(policy)
+        self.engine = _normalize_engine(engine)
         self.max_rhs = int(max_rhs)
 
         u = gauge.fermion_links(antiperiodic_t=antiperiodic_t)
         u_blocks = self.grid.scatter(u, site_axis=1)
-        if backend in (None, "auto"):
+        if self.engine == "compiled":
+            backend = "numba_soa"
+        elif backend in (None, "auto"):
             if tuner is not None:
                 from repro.dirac.kernels import select_backend
 
@@ -1053,6 +1427,8 @@ class DecompRuntime:
                     np.conjugate(np.swapaxes(u0, -1, -2)),
                     self.grid.local_geometry(0),
                     n_rhs=self.max_rhs,
+                    grid=self.grid.grid,
+                    policy=self.policy,
                 )
             else:
                 from repro.dirac.kernels import DEFAULT_BACKEND
@@ -1071,11 +1447,7 @@ class DecompRuntime:
         self._closed = False
         self._chans: list = []
         if self.policy == "overlap" and self.grid.partitioned:
-            if self.grid.min_partitioned_extent() < 2:
-                raise ValueError(
-                    "overlap policy needs local extent >= 2 along partitioned "
-                    f"directions (local dims {self.grid.local_dims})"
-                )
+            self.grid.check_overlap_feasible()
         if self.transport == "threads":
             self._start_threads(u_blocks)
         else:
@@ -1097,6 +1469,7 @@ class DecompRuntime:
                 self.mass,
                 self.backend,
                 self.policy,
+                self.engine,
             )
             t = threading.Thread(
                 target=worker_main,
@@ -1129,6 +1502,7 @@ class DecompRuntime:
                 "mass": self.mass,
                 "backend": self.backend,
                 "policy": self.policy,
+                "engine": self.engine,
             }
             p = mpctx.Process(
                 target=_shm_worker_entry,
@@ -1218,6 +1592,11 @@ class DecompRuntime:
     # -- public operations --------------------------------------------------
     def set_policy(self, policy) -> None:
         name = _normalize_policy(policy)
+        # Pre-check here so the driver raises the same structured error
+        # as construction time, instead of a RuntimeError wrapping the
+        # worker-side traceback of the identical check.
+        if name == "overlap" and self.grid.partitioned:
+            self.grid.check_overlap_feasible()
         self._command("policy", [name] * self.grid.n_ranks)
         self.policy = name
 
@@ -1240,21 +1619,29 @@ class DecompRuntime:
         return self._run_fieldwise("prepare_rhs", b)
 
     def solve_cgne(
-        self, b: np.ndarray, tol: float = 1e-10, max_iter: int = 10_000
+        self,
+        b: np.ndarray,
+        tol: float = 1e-10,
+        max_iter: int = 10_000,
+        reliable: bool = False,
+        delta: float = 0.1,
     ) -> BatchedSolveResult:
         """Rank-parallel batched CGNE propagator solve on the full lattice.
 
         ``b`` must carry at least one leading (right-hand-side) axis.
-        Returns a :class:`BatchedSolveResult` whose ``final_relres`` is
-        the prepared even-site system's residual, matching
-        ``solve_normal_equations_batched``.
+        ``reliable=True`` runs the reliable-update variant (complex64
+        Krylov storage, double residual refreshes triggered at ``delta``
+        — see :func:`_ru_loop`).  Returns a :class:`BatchedSolveResult`
+        whose ``final_relres`` is the prepared even-site system's
+        residual, matching ``solve_normal_equations_batched``.
         """
         if b.ndim < 7:
             raise ValueError("solve_cgne expects a stacked rhs (leading axes)")
         phi = self._flatten(b)
-        payloads = self._field_payloads(
-            phi, extra={"tol": float(tol), "max_iter": int(max_iter)}
-        )
+        extra = {"tol": float(tol), "max_iter": int(max_iter)}
+        if reliable:
+            extra.update(reliable=True, delta=float(delta))
+        payloads = self._field_payloads(phi, extra=extra)
         replies = self._command("cg", payloads)
         x = self._gather_fields(replies).reshape(b.shape)
         meta = replies[0]
@@ -1263,6 +1650,7 @@ class DecompRuntime:
             converged=np.asarray(meta["converged"]),
             iterations=int(meta["iterations"]),
             final_relres=np.asarray(meta["relres"]),
+            reliable_updates=int(meta.get("reliable_updates", 0)),
         )
 
     # -- diagnostics --------------------------------------------------------
@@ -1271,10 +1659,17 @@ class DecompRuntime:
         return {
             "transport": self.transport,
             "policy": self.policy,
+            "engine": self.engine,
             "ranks": self.grid.n_ranks,
             "grid": self.grid.grid,
             "backend": self.backend,
         }
+
+    def halo_stats(self) -> list:
+        """Per-rank exchanger counters: rounds, off-rank messages/bytes,
+        cumulative seconds blocked in :meth:`HaloExchanger.complete`
+        (the halo wait), and interior-pass seconds under overlap."""
+        return self._command("stats", [None] * self.grid.n_ranks)
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -1335,6 +1730,10 @@ class DistributedWilsonOperator:
         return self.runtime.backend
 
     @property
+    def engine(self) -> str:
+        return self.runtime.engine
+
+    @property
     def policy(self) -> str:
         return self.runtime.policy
 
@@ -1393,12 +1792,19 @@ class DistributedCG:
         op: DistributedEvenOddOperator,
         tol: float = 1e-10,
         max_iter: int = 10_000,
+        reliable: bool = False,
+        delta: float = 0.1,
     ):
         self.op = op
         self.tol = float(tol)
         self.max_iter = int(max_iter)
+        self.reliable = bool(reliable)
+        self.delta = float(delta)
 
     def solve_batched(self, b: np.ndarray) -> BatchedSolveResult:
         """Solve ``D x = b`` for a stack of sources; returns full-lattice
         solutions (prepare + even-site CGNE + reconstruct, all in-rank)."""
-        return self.op.runtime.solve_cgne(b, tol=self.tol, max_iter=self.max_iter)
+        return self.op.runtime.solve_cgne(
+            b, tol=self.tol, max_iter=self.max_iter,
+            reliable=self.reliable, delta=self.delta,
+        )

@@ -84,7 +84,9 @@ class FabricSpec:
 
     def face_nbytes(self, mu: int) -> int:
         # full-spinor worst case (12 complex per site) so the same
-        # mailbox serves half-spinor stencil faces and whole-field tests
+        # mailbox serves half-spinor stencil faces, SoA float64 ghost
+        # faces (12 reals per site, half this budget) and whole-field
+        # tests
         sites = self.local_volume // self.local_dims[mu]
         return self.n_max * sites * 12 * 16
 
@@ -118,7 +120,9 @@ class Fabric:
     def post(self, dst: int, slot: int, tag: FaceTag, arr: np.ndarray) -> None:
         raise NotImplementedError
 
-    def fetch(self, slot: int, tag: FaceTag, shape: tuple[int, ...]) -> np.ndarray:
+    def fetch(
+        self, slot: int, tag: FaceTag, shape: tuple[int, ...], dtype=np.complex128
+    ) -> np.ndarray:
         raise NotImplementedError
 
     # -- deterministic reductions ------------------------------------------
@@ -183,10 +187,14 @@ class ThreadFabric(Fabric):
         # ascontiguousarray would alias instead of copy).
         self._shared.mailbox[(dst, slot, tag)] = np.array(arr, order="C", copy=True)
 
-    def fetch(self, slot: int, tag: FaceTag, shape: tuple[int, ...]) -> np.ndarray:
+    def fetch(
+        self, slot: int, tag: FaceTag, shape: tuple[int, ...], dtype=np.complex128
+    ) -> np.ndarray:
         arr = self._shared.mailbox[(self.rank, slot, tag)]
         if arr.shape != tuple(shape):
             raise ValueError(f"mailbox {tag}: got {arr.shape}, expected {shape}")
+        if arr.dtype != np.dtype(dtype):
+            raise ValueError(f"mailbox {tag}: got {arr.dtype}, expected {dtype}")
         return arr
 
     def _reduce_table(self, slot: int) -> np.ndarray:
@@ -296,9 +304,11 @@ class ShmFabric(Fabric):
         view = self.arena.view(("mbox", dst, slot, d, mu), arr.shape, arr.dtype)
         view[...] = arr  # the staging copy
 
-    def fetch(self, slot: int, tag: FaceTag, shape: tuple[int, ...]) -> np.ndarray:
+    def fetch(
+        self, slot: int, tag: FaceTag, shape: tuple[int, ...], dtype=np.complex128
+    ) -> np.ndarray:
         d, mu = tag
-        return self.arena.view(("mbox", self.rank, slot, d, mu), tuple(shape))
+        return self.arena.view(("mbox", self.rank, slot, d, mu), tuple(shape), dtype)
 
     def _reduce_table(self, slot: int) -> np.ndarray:
         table = self.arena.view(

@@ -42,6 +42,7 @@ from repro.dirac.kernels.soa import (
     unpack_fermion,
 )
 from repro.dirac.kernels.numba_soa import NUMBA_AVAILABLE, SoAHalfSpinorKernel
+from repro.dirac.kernels.soa_dist import DistTables, distributed_tables
 
 __all__ = [
     "DslashKernel",
@@ -63,6 +64,8 @@ __all__ = [
     "SOA_LAYOUT_VERSION",
     "NUMBA_AVAILABLE",
     "SoAHalfSpinorKernel",
+    "DistTables",
+    "distributed_tables",
     "pack_fermion",
     "unpack_fermion",
     "pack_links",

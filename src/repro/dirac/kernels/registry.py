@@ -101,6 +101,9 @@ def dslash_tune_key(
     precision: str = "double",
     n_rhs: int = 1,
     storage: str = "double",
+    grid: tuple | None = None,
+    policy: str | None = None,
+    engine: str | None = None,
 ) -> "TuneKey":
     """The tune key under which a backend choice is cached.
 
@@ -111,6 +114,12 @@ def dslash_tune_key(
     the import-availability/SoA-layout fingerprint of this process, and
     the candidate set (so adding a backend later invalidates stale
     cached winners).
+
+    Distributed entries additionally carry the rank-grid shape, the
+    executed halo policy and the dslash engine: the fastest backend on a
+    rank's *local* volume depends on the grid's surface-to-volume shape
+    and on whether the compiled SoA tier drives the stencil, so those
+    choices must never replay across a different decomposition.
     """
     from repro.autotune.kernel import TuneKey
 
@@ -118,6 +127,12 @@ def dslash_tune_key(
         f"nrhs={n_rhs};dtype=complex128;storage={storage};{_env_aux()};"
         f"backends={','.join(available_backends())}"
     )
+    if grid is not None:
+        aux += f";grid={'x'.join(str(g) for g in grid)}"
+    if policy is not None:
+        aux += f";policy={policy}"
+    if engine is not None:
+        aux += f";engine={engine}"
     return TuneKey("wilson_hopping", geometry.volume, precision, aux)
 
 
@@ -160,6 +175,9 @@ def select_backend(
     precision: str = "double",
     n_rhs: int = 1,
     storage: str = "double",
+    grid: tuple | None = None,
+    policy: str | None = None,
+    engine: str | None = None,
 ) -> str:
     """Resolve the fastest backend for this volume via the autotuner.
 
@@ -174,7 +192,10 @@ def select_backend(
     """
     from repro import obs
 
-    key = dslash_tune_key(geometry, precision=precision, n_rhs=n_rhs, storage=storage)
+    key = dslash_tune_key(
+        geometry, precision=precision, n_rhs=n_rhs, storage=storage,
+        grid=grid, policy=policy, engine=engine,
+    )
     cached = tuner.backend_choice(key)
     if cached is not None and cached in _REGISTRY:
         return cached

@@ -191,11 +191,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="Chebyshev damping window: LO just above the "
                        "wanted modes, HI above the spectral radius")
     p_run.add_argument("--solver-mode",
-                       choices=["percolumn", "batched", "block"],
+                       choices=["percolumn", "batched", "block", "distributed"],
                        default="percolumn",
                        help="how the 12-source solves run: independent "
-                       "checkpointed columns, lock-step batch, or true "
-                       "shared-Krylov block CG")
+                       "checkpointed columns, lock-step batch, true "
+                       "shared-Krylov block CG, or the rank-parallel "
+                       "decomposition runtime (compiled SoA engine where "
+                       "numba imports)")
     p_run.add_argument("--shifts", type=float, nargs="*", default=[],
                        help="add a multishift_prop task solving "
                        "(D^H D + sigma_i) for this shift family on the "

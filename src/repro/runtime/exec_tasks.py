@@ -338,11 +338,18 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
         applications, per-column Krylov spaces).
     ``block``
         All 12 columns in one true block CGNE (shared Krylov space).
+    ``distributed``
+        All 12 columns through the rank-parallel decomposition runtime
+        (:class:`DistributedCG`) — bitwise equal to the serial batched
+        CGNE for any rank count.  ``dist_ranks``/``dist_engine``/
+        ``dist_policy``/``dist_transport`` select the decomposition; the
+        compiled SoA engine is picked automatically where numba imports.
 
     An optional ``eigen`` artifact ref deflates every solve with the
-    per-configuration low-mode basis, in any mode.  Batched/block modes
-    are single-shot (no mid-solve checkpoint); the retry unit is the
-    whole task.
+    per-configuration low-mode basis, in any mode except
+    ``distributed`` (the rank-local solver has no deflation hook).
+    Batched/block/distributed modes are single-shot (no mid-solve
+    checkpoint); the retry unit is the whole task.
     """
     from repro.contractions import Propagator, point_source
     from repro.dirac.wilson import WilsonOperator
@@ -400,6 +407,40 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
         totals["iterations"] = res.iterations
         totals["matvecs"] = res.matvecs
         totals["flops"] = res.flops
+    elif mode == "distributed":
+        from repro.comm.distributed import DistributedCG, DistributedEvenOddOperator
+        from repro.dirac.flops import wilson_dslash_flops_per_site
+
+        if eigen is not None:
+            raise ValueError(
+                f"{ctx.task_id}: solver_mode 'distributed' does not support "
+                "deflation (drop the eigen ref or use batched/block)"
+            )
+        with DistributedEvenOddOperator(
+            gauge,
+            float(params["mass"]),
+            ranks=int(params.get("dist_ranks", 2)),
+            engine=str(params.get("dist_engine", "auto")),
+            policy=str(params.get("dist_policy", "blocking")),
+            transport=str(params.get("dist_transport", "threads")),
+        ) as op:
+            res = DistributedCG(op, tol=tol, max_iter=max_iter).solve_batched(sources)
+        if not bool(np.all(res.converged)):
+            bad = [i for i in range(12) if not res.converged[i]]
+            raise RuntimeError(
+                f"{ctx.task_id}: columns {bad} did not converge "
+                f"(worst relres {float(np.max(res.final_relres)):.2e})"
+            )
+        for col in range(12):
+            spin, color = divmod(col, 3)
+            data[..., :, spin, :, color] = res.x[col]
+        totals["iterations"] = res.iterations
+        # per normal-equation iteration: 2 Schur applies = 4 hoppings,
+        # counted as matvecs on the full operator for report parity
+        totals["matvecs"] = 2 * res.iterations * 12
+        totals["flops"] = float(
+            4 * res.iterations * 12 * geom.volume * wilson_dslash_flops_per_site()
+        )
     elif mode == "percolumn":
         solver = ConjugateGradient(tol=tol, max_iter=max_iter)
         start_col = 0
@@ -475,6 +516,11 @@ def _exec_seq_solve(params: dict, ctx: ExecContext) -> dict[str, str]:
     tol = float(params.get("tol", 1e-8))
     max_iter = int(params.get("max_iter", 4000))
     mode = str(params.get("solver_mode", "percolumn"))
+    if mode == "distributed":
+        # sequential sink solves stay in-process: the through-the-sink
+        # source is built from an already-gathered propagator, so the
+        # lock-step batched mode is the closest executable ladder rung
+        mode = "batched"
     eigen = _load_eigen(ctx, params["eigen"]) if params.get("eigen") else None
     solver = (
         BlockCG(tol=tol, max_iter=max_iter)

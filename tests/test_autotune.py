@@ -245,3 +245,87 @@ class TestMeasuredCommTuning:
         tuner = CommPolicyTuner()
         res = tuner.tune(get_machine("sierra"), (48, 48, 48, 64), 20, 16)
         assert res.source == "model"
+
+    def test_measured_aux_carries_grid_and_engines(self):
+        """The tunecache aux of a distributed race must key on the rank
+        grid, the engine set and the environment fingerprint — not just
+        rhs width and transports."""
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 6, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        )
+        keys = [k for k in ktuner._comm_cache if k.kernel == "halo_policy"]
+        assert len(keys) == 1
+        aux = keys[0].aux
+        assert "grid=2x1x1x1" in aux
+        assert "engines=interpreted" in aux
+        assert "numba=" in aux and "soa=v" in aux
+
+    def test_measured_race_across_engines(self):
+        """engines= widens the candidate space to transport/engine/
+        schedule triples; the winner carries its engine and the
+        per-engine breakdown is reported."""
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 4, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        res = CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=1, transports=("threads",),
+            engines=("interpreted", "compiled"), tuner=ktuner,
+        )
+        assert res.source == "measured"
+        assert res.best_engine in ("interpreted", "compiled")
+        assert set(res.engine_times) == {"interpreted", "compiled"}
+        for per_policy in res.engine_times.values():
+            assert all(t > 0 for t in per_policy.values())
+        # times holds each policy's best over the raced engines
+        for policy, t in res.times.items():
+            assert t == min(
+                per[policy] for per in res.engine_times.values() if policy in per
+            )
+        keys = [k for k in ktuner._comm_cache if k.kernel == "halo_policy"]
+        assert "engines=interpreted+compiled" in keys[0].aux
+
+    def test_distributed_cross_environment_replay_invalidated(
+        self, tmp_path, monkeypatch
+    ):
+        """A halo-policy winner raced *with* numba must not replay
+        *without* it (mirrors the dslash backend tunecache test): the
+        aux environment fingerprint flips, the loaded cache misses and
+        the race reruns."""
+        from repro.dirac.kernels import numba_soa
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 6, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        )
+        assert ktuner.tune_calls == 1
+        path = tmp_path / "tunecache.json"
+        ktuner.save(path)
+
+        fresh = KernelAutotuner(launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        # same environment: replayed from the loaded cache, no re-race
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=fresh
+        )
+        assert fresh.tune_calls == 0
+        # flipped environment: cache miss, re-raced
+        monkeypatch.setattr(
+            numba_soa, "NUMBA_AVAILABLE", not numba_soa.NUMBA_AVAILABLE
+        )
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=fresh
+        )
+        assert fresh.tune_calls == 1

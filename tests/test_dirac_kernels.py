@@ -201,6 +201,29 @@ class TestAutotunedSelection:
         assert "storage=half" in half.aux
         assert half != key
 
+    def test_tune_key_encodes_decomposition(self, geom_tiny):
+        """Distributed entries carry grid shape, halo policy and engine:
+        a winner tuned on one decomposition never replays on another."""
+        serial = dslash_tune_key(geom_tiny)
+        dist = dslash_tune_key(
+            geom_tiny, grid=(2, 2, 1, 1), policy="overlap", engine="compiled"
+        )
+        assert "grid=2x2x1x1" in dist.aux
+        assert "policy=overlap" in dist.aux
+        assert "engine=compiled" in dist.aux
+        for fragment in ("grid=", "policy=", "engine="):
+            assert fragment not in serial.aux
+        other_grid = dslash_tune_key(
+            geom_tiny, grid=(4, 1, 1, 1), policy="overlap", engine="compiled"
+        )
+        other_policy = dslash_tune_key(
+            geom_tiny, grid=(2, 2, 1, 1), policy="blocking", engine="compiled"
+        )
+        other_engine = dslash_tune_key(
+            geom_tiny, grid=(2, 2, 1, 1), policy="overlap", engine="interpreted"
+        )
+        assert len({dist, other_grid, other_policy, other_engine, serial}) == 5
+
     def test_cross_environment_replay_invalidated(
         self, gauge_tiny, tmp_path, monkeypatch
     ):

@@ -125,6 +125,19 @@ class TestSoAKernelParity:
     def test_registration_tracks_numba_availability(self):
         assert ("numba_soa" in available_backends()) == NUMBA_AVAILABLE
 
+    @pytest.mark.parametrize("n_rhs", [2, 12])
+    def test_batched_path_matches_per_rhs_bitwise(self, geom_tiny, n_rhs):
+        """``n >= 2`` dispatches the nrhs-batched site-list stencil that
+        amortizes gauge-link loads across the stack; per-RHS the FP op
+        sequence is the single-RHS kernel's, so the result is bitwise."""
+        u, u_dag, geom = _operators(geom_tiny)
+        soa = SoAHalfSpinorKernel(u, u_dag, geom)
+        phi = random_fermion(make_rng(31), (n_rhs,) + geom.dims + (4, 3))
+        batched = np.array(soa.hopping(phi), copy=True)
+        for i in range(n_rhs):
+            single = soa.hopping(phi[i : i + 1])
+            np.testing.assert_array_equal(batched[i : i + 1], single)
+
 
 class TestOracleGate:
     def test_all_registered_backends_verify(self, geom_tiny):

@@ -187,3 +187,31 @@ class TestLedgerOnDisk:
         kinds = {e["ev"] for e in events}
         assert {"campaign_start", "submit", "start", "done", "fail",
                 "retry", "campaign_finish"} <= kinds
+
+
+class TestDistributedSolverMode:
+    def test_distributed_campaign_matches_percolumn(self, tmp_path):
+        """``--solver-mode distributed`` routes the 12-source solve
+        through the rank-parallel runtime (compiled SoA engine where
+        numba imports) and lands the same propagator to solver
+        tolerance; telemetry records the mode."""
+        import numpy as np
+
+        rt_ref, res_ref = _campaign(tmp_path / "percolumn", pool="thread")
+        assert res_ref.all_done
+        rt_dist, res_dist = _campaign(
+            tmp_path / "dist",
+            pool="thread",
+            spec_kwargs=dict(CAMPAIGN, solver_mode="distributed"),
+        )
+        assert res_dist.all_done
+
+        ref = rt_ref.store.load("prop_m0:prop")["data"]
+        dist = rt_dist.store.load("prop_m0:prop")["data"]
+        assert np.allclose(dist, ref, rtol=1e-4, atol=1e-7)
+
+        events = load_events(tmp_path / "dist")
+        solves = [e for e in events if e["ev"] == "solve_done"
+                  and e["task"] == "prop_m0"]
+        assert solves and solves[0]["solver_mode"] == "distributed"
+        assert solves[0]["iterations"] > 0 and solves[0]["flops"] > 0
