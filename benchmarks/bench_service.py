@@ -1,0 +1,279 @@
+"""Campaign-service load test: tail latency, cache economics, fairness.
+
+Drives hundreds of small overlapping 4^3x8 campaigns from three tenants
+through the real HTTP stack — asyncio clients against a live
+:class:`repro.service.server.ServerThread` — on a 50%-duplicate
+workload, the traffic shape of the paper's production campaigns (grids
+of near-identical solves differing in one parameter).  Reports:
+
+* submit->result latency percentiles (p50/p95/p99) under bounded
+  client concurrency,
+* the two-level cache economics: campaign-level dedup (identical specs
+  attach to one entry) and task-level CAS hits (overlapping specs share
+  their gauge/fix/smear cone), folded into one task cache-hit rate,
+* per-tenant fairness as the Jain index over busy seconds,
+* bitwise parity: sampled served correlators equal a direct
+  single-campaign ``CampaignRuntime`` run of the same spec.
+
+Emits ``BENCH_service.json`` (repo root; rendered by
+``repro-report --section service``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full load
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # CI scale
+
+or through pytest (asserts the >=50% cache-hit rate, fairness and the
+bitwise parity)::
+
+    PYTHONPATH=src BENCH_SERVICE_QUICK=1 python -m pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.runtime import CampaignConfig, CampaignRuntime, build_from_spec
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+TENANTS = ("astra", "boltzmann", "curie")
+
+# Full mode: 500 submissions over 250 unique specs (every spec submitted
+# exactly twice -> a 50%-duplicate workload).  Quick mode keeps the same
+# shape at CI scale.
+FULL = dict(submissions=500, unique=250, concurrency=24, workers=8)
+QUICK = dict(submissions=60, unique=30, concurrency=12, workers=4)
+
+
+def _host() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _spec(i: int, unique: int) -> dict:
+    """The i-th unique campaign: one heavy mass on a tiny 4^3x8 lattice."""
+    mass = round(0.9 + 0.5 * i / unique, 6)
+    return {
+        "builder": "ga",
+        "kwargs": {
+            "dims": [4, 4, 4, 8],
+            "masses": [mass],
+            "seed": 11,
+            "tol": 1e-5,
+            "max_iter": 2000,
+            "include_seq": False,
+            "solver_mode": "batched",
+        },
+    }
+
+
+def _jobs(submissions: int, unique: int) -> list[tuple[dict, str]]:
+    """The workload: each unique spec submitted submissions/unique times,
+    shuffled deterministically, tenants round-robin over the shuffle."""
+    repeat = max(1, submissions // unique)
+    jobs = [_spec(i, unique) for i in range(unique) for _ in range(repeat)]
+    random.Random(20180817).shuffle(jobs)  # SC18 Gordon Bell deadline
+    return [(spec, TENANTS[k % len(TENANTS)]) for k, spec in enumerate(jobs)]
+
+
+async def _drive(
+    port: int, jobs: list[tuple[dict, str]], concurrency: int
+) -> list[dict]:
+    """Submit every job and wait for its result, bounded concurrency.
+
+    ``result`` is polled with short server-side waits so no client ever
+    parks an executor thread on the server for the whole campaign."""
+    client = ServiceClient(port=port)
+    sem = asyncio.Semaphore(concurrency)
+
+    async def one(spec: dict, tenant: str) -> dict:
+        async with sem:
+            t0 = time.perf_counter()
+            sub = await client.submit(spec, tenant=tenant)
+            while True:
+                res = await client.result(sub["id"], timeout=2.0)
+                if res.get("ready"):
+                    break
+            return {
+                "latency_s": time.perf_counter() - t0,
+                "tenant": tenant,
+                "cid": sub["id"],
+                "state": res["state"],
+                "n_tasks": res["n_tasks"],
+                "cache_hits": res["cache_hits"],
+                "tasks_reused": res["tasks_reused"],
+                "correlators": res["artifact_files"].get("assemble:correlators"),
+            }
+
+    return list(await asyncio.gather(*(one(s, t) for s, t in jobs)))
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    k = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[k]
+
+
+def _jain(values: list[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one hog."""
+    if not values or all(v == 0 for v in values):
+        return 1.0
+    return sum(values) ** 2 / (len(values) * sum(v * v for v in values))
+
+
+def _verify_bitwise(outcomes: list[dict], workdir: Path, n_samples: int) -> bool:
+    """Served correlators == a direct CampaignRuntime run, sampled."""
+    by_cid: dict[str, dict] = {o["cid"]: o for o in outcomes if o["correlators"]}
+    picks = random.Random(7).sample(sorted(by_cid), min(n_samples, len(by_cid)))
+    for k, cid in enumerate(picks):
+        served = Path(by_cid[cid]["correlators"]).read_bytes()
+        spec = json.loads(
+            (workdir / "campaigns" / cid / "campaign.json").read_text()
+        )["spec"]
+        graph, canonical = build_from_spec(spec)
+        rt = CampaignRuntime(
+            workdir / f"verify-{k}",
+            CampaignConfig(workers=2, pool="thread"),
+            spec=canonical,
+        )
+        res = rt.run(graph)
+        if not res.all_done:
+            return False
+        if rt.store.path("assemble:correlators").read_bytes() != served:
+            return False
+    return True
+
+
+def write_report(quick: bool = False, path: Path = OUTPUT) -> dict:
+    import tempfile
+
+    scale = QUICK if quick else FULL
+    jobs = _jobs(scale["submissions"], scale["unique"])
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        tmp = Path(tmp)
+        cfg = ServiceConfig(workers=scale["workers"], pool="thread", window=8)
+        t0 = time.perf_counter()
+        with ServerThread(tmp / "service", cfg) as srv:
+            outcomes = asyncio.run(
+                _drive(srv.port, jobs, scale["concurrency"])
+            )
+            wall = time.perf_counter() - t0
+            stats = srv.service.stats()
+            bitwise = _verify_bitwise(
+                outcomes, srv.service.workdir, n_samples=1 if quick else 3
+            )
+
+        failed = [o for o in outcomes if o["state"] != "done"]
+        if failed:
+            raise RuntimeError(f"{len(failed)} campaigns did not complete")
+
+        # Two-level cache economics.  Every submission asks for n_tasks
+        # tasks; only unique entries actually solve, and even they pull
+        # their shared upstream cone from the CAS.
+        requested = sum(o["n_tasks"] for o in outcomes)
+        per_entry: dict[str, dict] = {o["cid"]: o for o in outcomes}
+        solved = sum(
+            e["n_tasks"] - e["cache_hits"] - e["tasks_reused"]
+            for e in per_entry.values()
+        )
+        hit_rate = 1.0 - solved / requested if requested else 0.0
+
+        lat = sorted(o["latency_s"] for o in outcomes)
+        busy = [
+            stats["tenants"].get(t, {}).get("busy_seconds", 0.0) for t in TENANTS
+        ]
+        results = {
+            "host": _host(),
+            "mode": "quick" if quick else "full",
+            "workload": (
+                f"{len(jobs)} submissions, {len(per_entry)} unique 4^3x8 ga "
+                f"specs, {len(TENANTS)} tenants, "
+                f"{1 - len(per_entry) / len(jobs):.0%} duplicates, "
+                f"{scale['workers']} workers, "
+                f"client concurrency {scale['concurrency']}"
+            ),
+            "headline": {
+                "campaigns": len(jobs),
+                "unique_specs": len(per_entry),
+                "tenants": len(TENANTS),
+                "cache_hit_rate": hit_rate,
+                "dedup_attached": stats["dedup_attached"],
+                "jain_fairness": _jain(busy),
+                "campaigns_per_s": len(jobs) / wall,
+                "bitwise_equal": bitwise,
+            },
+            "latency_s": {
+                "p50": _percentile(lat, 0.50),
+                "p95": _percentile(lat, 0.95),
+                "p99": _percentile(lat, 0.99),
+                "mean": sum(lat) / len(lat),
+                "max": lat[-1],
+            },
+            "tasks": {"requested": requested, "solved": solved},
+            "wall_s": wall,
+            "cas": stats["cas"],
+            "tenants": stats["tenants"],
+        }
+    path.write_text(json.dumps(results, indent=1, sort_keys=True))
+    return results
+
+
+def _render(results: dict) -> str:
+    h, lat = results["headline"], results["latency_s"]
+    return "\n".join(
+        [
+            f"mode={results['mode']}  {results['workload']}",
+            (
+                f"  {h['campaigns']} campaigns ({h['unique_specs']} unique) in "
+                f"{results['wall_s']:.1f}s = {h['campaigns_per_s']:.1f}/s"
+            ),
+            (
+                f"  task cache hit rate {h['cache_hit_rate']:.1%}  "
+                f"(dedup attached {h['dedup_attached']}, CAS hits "
+                f"{results['cas']['hits']})"
+            ),
+            (
+                f"  latency p50/p95/p99 = {lat['p50'] * 1000:.0f}/"
+                f"{lat['p95'] * 1000:.0f}/{lat['p99'] * 1000:.0f} ms"
+            ),
+            f"  Jain fairness over tenant busy-seconds: {h['jain_fairness']:.3f}",
+            f"  bitwise parity with repro-campaign: {h['bitwise_equal']}",
+        ]
+    )
+
+
+def test_service_benchmark(report):
+    quick = os.environ.get("BENCH_SERVICE_QUICK", "") == "1"
+    results = write_report(quick=quick)
+    report("Campaign service load test (wrote BENCH_service.json)",
+           _render(results))
+    h = results["headline"]
+    assert h["cache_hit_rate"] >= 0.5, (
+        f"cache hit rate {h['cache_hit_rate']:.1%} on a 50%-duplicate "
+        f"workload (need >=50%)"
+    )
+    assert h["jain_fairness"] >= 0.6, (
+        f"tenant fairness {h['jain_fairness']:.3f} (need >=0.6)"
+    )
+    assert h["bitwise_equal"], "served correlators diverged from direct runs"
+    assert results["latency_s"]["p99"] > 0.0
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    out = write_report(quick=quick)
+    print(json.dumps(out["headline"], indent=1, sort_keys=True))
+    print(f"\nwrote {OUTPUT}")

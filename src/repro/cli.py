@@ -393,6 +393,42 @@ def _campaign() -> str:
     return campaign_section()
 
 
+def _service() -> str:
+    """Campaign-as-a-service load-test headline (BENCH_service.json)."""
+    import json
+    from pathlib import Path
+
+    bench = Path(__file__).resolve().parents[2] / "BENCH_service.json"
+    if not bench.exists():
+        return (
+            "campaign service: no BENCH_service.json found — run\n"
+            "  PYTHONPATH=src python benchmarks/bench_service.py"
+        )
+    data = json.loads(bench.read_text())
+    h = data["headline"]
+    lat = data["latency_s"]
+    rows = [
+        ["campaigns served", str(h["campaigns"])],
+        ["unique specs", str(h["unique_specs"])],
+        ["tenants", str(h["tenants"])],
+        ["task cache hit rate", f"{h['cache_hit_rate'] * 100:.1f}%"],
+        ["campaign-level dedup", str(h["dedup_attached"])],
+        ["p50 / p95 / p99 latency", (
+            f"{lat['p50'] * 1000:.0f} / {lat['p95'] * 1000:.0f} / "
+            f"{lat['p99'] * 1000:.0f} ms"
+        )],
+        ["tenant fairness (Jain)", f"{h['jain_fairness']:.3f}"],
+        ["throughput", f"{h['campaigns_per_s']:.1f} campaigns/s"],
+        ["bitwise parity", "verified" if h["bitwise_equal"] else "FAILED"],
+    ]
+    table = format_table(
+        ["metric", "value"],
+        rows,
+        title="Campaign service load test (BENCH_service.json)",
+    )
+    return table + f"\nworkload: {data.get('workload', '')}"
+
+
 def _tts() -> str:
     from repro.perfmodel import CampaignSpec, time_to_solution
     from repro.workflow.speedup import TITAN_CAMPAIGN_NODES
@@ -427,7 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "all", "table1", "table2", "table3", "headlines",
             "memory", "backends", "kernels", "comm", "perf", "solvers",
-            "campaign", "tts",
+            "campaign", "service", "tts",
         ],
         default="all",
     )
@@ -446,6 +482,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _perf,
         "solvers": _solvers,
         "campaign": _campaign,
+        "service": _service,
         "tts": _tts,
     }
     chosen = sections.values() if args.section == "all" else [sections[args.section]]

@@ -29,10 +29,39 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["FieldFile"]
+__all__ = ["FieldFile", "link_or_copy"]
 
 _MAGIC = b"REPROLQ2"
 _MAGIC_V1 = b"REPROLQ1"
+
+
+def link_or_copy(src: str | Path, dst: str | Path) -> Path:
+    """Materialize ``src`` at ``dst`` without rewriting the payload.
+
+    Hardlink when the filesystem allows it (the content-addressed cache
+    case: one propagator on disk, many campaign directories referencing
+    it), byte-copy otherwise, always through a same-directory temp name
+    and an atomic ``os.replace`` so concurrent readers of ``dst`` — and
+    concurrent materializers racing for the same cache slot — only ever
+    observe a complete file.  Containers are immutable once written, so
+    sharing inodes is safe.
+    """
+    src, dst = Path(src), Path(dst)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    tmp = dst.with_name(f".{dst.name}.tmp.{os.getpid()}")
+    try:
+        tmp.unlink(missing_ok=True)
+        try:
+            os.link(src, tmp)
+        except OSError:  # cross-device, or a filesystem without hardlinks
+            import shutil
+
+            shutil.copyfile(src, tmp)
+        os.replace(tmp, dst)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return dst
 
 
 class FieldFile:

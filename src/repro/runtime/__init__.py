@@ -26,9 +26,22 @@ Layout::
 """
 
 from repro.runtime.builder import build_from_spec, build_ga_campaign, build_sleep_campaign
-from repro.runtime.campaign import CampaignConfig, CampaignResult, CampaignRuntime
+from repro.runtime.campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignResult,
+    CampaignRuntime,
+    LedgerMismatchError,
+    WorkerStormError,
+)
 from repro.runtime.faults import FaultPlan, FaultSpec, WorkerKilled
-from repro.runtime.ledger import LedgerState, TaskLedger, replay_ledger
+from repro.runtime.ledger import (
+    LedgerCollisionError,
+    LedgerState,
+    TaskLedger,
+    open_campaign_ledger,
+    replay_ledger,
+)
 from repro.runtime.policies import POLICIES, make_policy
 from repro.runtime.tasks import CampaignTask, TaskGraph, TaskStatus
 from repro.runtime.telemetry import TelemetrySummary, TelemetryWriter, summarize
@@ -41,13 +54,18 @@ __all__ = [
     "build_sleep_campaign",
     "build_from_spec",
     "CampaignConfig",
+    "CampaignError",
     "CampaignResult",
     "CampaignRuntime",
+    "LedgerMismatchError",
+    "WorkerStormError",
     "FaultPlan",
     "FaultSpec",
     "WorkerKilled",
     "TaskLedger",
     "LedgerState",
+    "LedgerCollisionError",
+    "open_campaign_ledger",
     "replay_ledger",
     "POLICIES",
     "make_policy",

@@ -24,6 +24,7 @@ resume against a graph with a different fingerprint.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,7 +37,36 @@ from repro.runtime.tasks import TaskGraph, TaskStatus
 from repro.runtime.telemetry import TelemetryWriter, summarize
 from repro.runtime.worker import make_pool
 
-__all__ = ["CampaignConfig", "CampaignResult", "CampaignRuntime"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRuntime",
+    "LedgerMismatchError",
+    "WorkerStormError",
+]
+
+
+class CampaignError(RuntimeError):
+    """Base of every typed failure the runtime raises.
+
+    Embedders (the campaign service, notebooks, other drivers) catch
+    this instead of pattern-matching generic exceptions; the runtime
+    itself never calls ``sys.exit`` — turning failures into exit codes
+    is the CLI's job alone.
+    """
+
+
+class LedgerMismatchError(CampaignError, ValueError):
+    """Refusing to resume a ledger written by a different task graph.
+
+    Also a :class:`ValueError` for compatibility with callers that
+    predate the typed hierarchy.
+    """
+
+
+class WorkerStormError(CampaignError):
+    """Workers died faster than the respawn budget allows."""
 
 
 @dataclass(frozen=True)
@@ -69,6 +99,7 @@ class CampaignResult:
     artifacts: dict[str, dict[str, str]]
     makespan: float
     interrupted: bool = False
+    cancelled: bool = False  # interrupted by a cooperative cancel()
     quarantined: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     worker_deaths: int = 0
@@ -118,6 +149,19 @@ class CampaignRuntime:
         self.config = config or CampaignConfig()
         self.spec = spec or {}
         self.store = ArtifactStore(self.workdir / "artifacts")
+        self._cancel = threading.Event()
+
+    def cancel(self) -> None:
+        """Request a cooperative stop of a :meth:`run` in progress.
+
+        Safe from any thread.  The driver notices at its next poll,
+        stops dispatching, and returns with ``result.cancelled`` set —
+        leaving the write-ahead ledger exactly as it stands, so a later
+        ``run(resume=True)`` replays completed tasks and restarts
+        whatever was in flight from its last solver checkpoint,
+        bit-exactly (the same machinery that survives a real crash).
+        """
+        self._cancel.set()
 
     # -- resume plumbing -----------------------------------------------------
     def _restore_from_ledger(self, graph: TaskGraph):
@@ -130,7 +174,7 @@ class CampaignRuntime:
             return status, artifacts, reused
         recorded = state.campaign.get("fingerprint")
         if recorded and recorded != graph.fingerprint():
-            raise ValueError(
+            raise LedgerMismatchError(
                 f"ledger fingerprint {recorded} does not match this campaign "
                 f"({graph.fingerprint()}); refusing to resume a different graph"
             )
@@ -167,6 +211,7 @@ class CampaignRuntime:
         cfg = self.config
         faults = faults or FaultPlan()
         policy = make_policy(cfg.policy)
+        self._cancel.clear()  # one runtime may run / cancel / resume repeatedly
 
         status = {tid: TaskStatus.PENDING for tid in graph.topo_order()}
         artifacts: dict[str, dict[str, str]] = {}
@@ -267,7 +312,7 @@ class CampaignRuntime:
 
         def respawn(w: int) -> None:
             if pool.spawns >= cfg.workers + cfg.max_respawns:
-                raise RuntimeError(
+                raise WorkerStormError(
                     f"workers keep dying ({pool.spawns} spawns for "
                     f"{cfg.workers} slots); giving up instead of thrashing"
                 )
@@ -291,6 +336,9 @@ class CampaignRuntime:
                 tele.emit("worker_spawn", worker=w, respawn=False)
 
             while not all(settled(s) for s in status.values()):
+                if self._cancel.is_set():
+                    result.cancelled = True
+                    raise _Interrupted("cancelled by caller")
                 now = time.monotonic()
                 running = [t for t in worker_task.values() if t is not None]
                 dispatchable = [

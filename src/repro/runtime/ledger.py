@@ -12,12 +12,22 @@ itself) and reduces the event stream to per-task facts: status, attempt
 count, artifacts of completed tasks.  Anything that was RUNNING at the
 crash simply has no terminal event and is requeued on resume — its
 solver checkpoints (if any) make the requeue cheap.
+
+Concurrent campaigns in one process (the campaign *service*) get two
+further guarantees: :meth:`TaskLedger.record` is thread-safe, and each
+campaign's ledger lives in its own namespaced directory behind an
+ID-collision guard (:func:`open_campaign_ledger`) — two campaigns can
+never interleave writes into one file, and a reused campaign id is
+refused unless it refers to the same graph.  Records carry an optional
+``campaign`` tag so :func:`replay_ledger` can also filter a shard that
+*does* contain interleaved campaigns (e.g. a hand-merged archive).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,33 +35,101 @@ from typing import Any
 
 from repro.runtime.tasks import TaskStatus
 
-__all__ = ["TaskLedger", "LedgerState", "replay_ledger"]
+__all__ = [
+    "TaskLedger",
+    "LedgerState",
+    "LedgerCollisionError",
+    "replay_ledger",
+    "open_campaign_ledger",
+]
+
+
+class LedgerCollisionError(ValueError):
+    """A campaign id already maps to a *different* campaign's ledger."""
 
 
 class TaskLedger:
-    """Append-only JSON-lines writer with fsync-per-record durability."""
+    """Append-only JSON-lines writer with fsync-per-record durability.
 
-    def __init__(self, path: str | Path):
+    ``campaign`` tags every record with the owning campaign id, letting
+    multi-campaign readers attribute interleaved records.  ``record`` is
+    safe to call from multiple threads of one process (single-writer
+    per file across processes remains the rule).
+    """
+
+    def __init__(self, path: str | Path, campaign: str | None = None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.campaign = campaign
+        self._lock = threading.Lock()
         self._f = self.path.open("a", encoding="utf-8")
 
     def record(self, ev: str, **fields: Any) -> None:
         """Durably append one event before the caller proceeds."""
         rec = {"ev": ev, "t": time.time(), **fields}
-        self._f.write(json.dumps(rec, sort_keys=True) + "\n")
-        self._f.flush()
-        os.fsync(self._f.fileno())
+        if self.campaign is not None:
+            rec.setdefault("campaign", self.campaign)
+        line = json.dumps(rec, sort_keys=True) + "\n"
+        with self._lock:
+            self._f.write(line)
+            self._f.flush()
+            os.fsync(self._f.fileno())
 
     def close(self) -> None:
-        if not self._f.closed:
-            self._f.close()
+        with self._lock:
+            if not self._f.closed:
+                self._f.close()
 
     def __enter__(self) -> "TaskLedger":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def open_campaign_ledger(
+    root: str | Path,
+    campaign_id: str,
+    fingerprint: str | None = None,
+    meta: dict[str, Any] | None = None,
+) -> TaskLedger:
+    """Open the namespaced ledger of one campaign under a shared root.
+
+    Creates ``<root>/<campaign_id>/ledger.jsonl`` plus a ``campaign.json``
+    marker recording the graph fingerprint.  Reopening with the same id
+    and fingerprint resumes; reopening with the same id but a different
+    fingerprint raises :class:`LedgerCollisionError` — the service-level
+    analogue of ``CampaignRuntime``'s refuse-to-resume-a-different-graph
+    check, caught *before* any record is appended.
+    """
+    droot = Path(root) / campaign_id
+    droot.mkdir(parents=True, exist_ok=True)
+    marker = droot / "campaign.json"
+    if marker.exists():
+        try:
+            rec = json.loads(marker.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            rec = {}
+        recorded = rec.get("fingerprint")
+        if (
+            rec.get("campaign", campaign_id) != campaign_id
+            or (fingerprint and recorded and recorded != fingerprint)
+        ):
+            raise LedgerCollisionError(
+                f"campaign id {campaign_id!r} already maps to fingerprint "
+                f"{recorded!r}, not {fingerprint!r}; refusing to interleave"
+            )
+    else:
+        tmp = marker.with_name(f".{marker.name}.tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(
+                {"campaign": campaign_id, "fingerprint": fingerprint, **(meta or {})},
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        os.replace(tmp, marker)
+    return TaskLedger(droot / "ledger.jsonl", campaign=campaign_id)
 
 
 @dataclass
@@ -77,8 +155,13 @@ class LedgerState:
         return {t for t, s in self.status.items() if s == TaskStatus.QUARANTINED}
 
 
-def replay_ledger(path: str | Path) -> LedgerState:
-    """Reduce a ledger file to per-task facts (crash-tolerant)."""
+def replay_ledger(path: str | Path, campaign: str | None = None) -> LedgerState:
+    """Reduce a ledger file to per-task facts (crash-tolerant).
+
+    With ``campaign`` set, records tagged with a *different* campaign id
+    are skipped — the reader side of surviving interleaved shards.
+    Untagged records (pre-service ledgers) always count.
+    """
     st = LedgerState()
     path = Path(path)
     if not path.exists():
@@ -91,6 +174,8 @@ def replay_ledger(path: str | Path) -> LedgerState:
         except json.JSONDecodeError:
             # A torn final line is the expected signature of a crash
             # mid-append; everything before it is intact and fsynced.
+            continue
+        if campaign is not None and rec.get("campaign", campaign) != campaign:
             continue
         st.events += 1
         ev = rec.get("ev")

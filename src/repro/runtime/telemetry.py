@@ -16,6 +16,7 @@ counts, and per-task spans for the Gantt-style report.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,31 +31,36 @@ class TelemetryWriter:
     Usable as a context manager; :meth:`close` is idempotent (workers
     close once on fault-injected death and again in their ``finally``),
     and :meth:`emit` after close raises rather than silently writing to
-    a dead handle.
+    a dead handle.  Emits are thread-safe — the service driver and its
+    API threads share one writer per campaign.
     """
 
     def __init__(self, path: str | Path, source: str):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.source = source
+        self._lock = threading.Lock()
         self._f = self.path.open("a", encoding="utf-8")
 
     def emit(self, ev: str, **fields: Any) -> None:
-        if self._f is None:
-            raise RuntimeError(f"TelemetryWriter({self.path.name}) is closed")
         rec = {"ev": ev, "t": time.time(), "src": self.source, **fields}
-        self._f.write(json.dumps(rec, sort_keys=True) + "\n")
-        self._f.flush()
+        line = json.dumps(rec, sort_keys=True) + "\n"
+        with self._lock:
+            if self._f is None:
+                raise RuntimeError(f"TelemetryWriter({self.path.name}) is closed")
+            self._f.write(line)
+            self._f.flush()
 
     @property
     def closed(self) -> bool:
         return self._f is None
 
     def close(self) -> None:
-        if self._f is not None:
-            if not self._f.closed:
-                self._f.close()
-            self._f = None
+        with self._lock:
+            if self._f is not None:
+                if not self._f.closed:
+                    self._f.close()
+                self._f = None
 
     def __enter__(self) -> "TelemetryWriter":
         return self

@@ -52,10 +52,25 @@ def worker_main(
 
     Runs in a child process (``pool_kind="process"``) or a thread.  A
     ``None`` message is the shutdown sentinel.
+
+    A message may carry a ``workdir`` override (and a ``campaign`` tag):
+    the campaign *service* multiplexes many campaigns over one pool, so
+    each task routes to its own campaign's artifact/checkpoint stores
+    while the worker keeps a single telemetry shard at the pool root,
+    tagging every event and result with the owning campaign.
     """
     wd = Path(workdir)
-    store = ArtifactStore(wd / "artifacts")
-    ckpt = CheckpointManager(wd / "checkpoints")
+    stores: dict[str, tuple[ArtifactStore, CheckpointManager]] = {}
+
+    def stores_for(path: str) -> tuple[ArtifactStore, CheckpointManager]:
+        if path not in stores:
+            p = Path(path)
+            stores[path] = (
+                ArtifactStore(p / "artifacts"),
+                CheckpointManager(p / "checkpoints"),
+            )
+        return stores[path]
+
     tele = TelemetryWriter(
         wd / f"telemetry-w{worker_id}.jsonl", source=f"worker-{worker_id}"
     )
@@ -74,6 +89,9 @@ def worker_main(
             fault = (
                 FaultSpec.from_json(msg["fault"]) if msg.get("fault") else None
             )
+            store, ckpt = stores_for(msg.get("workdir") or workdir)
+            campaign = msg.get("campaign")
+            tag = {"campaign": campaign} if campaign else {}
             ctx = ExecContext(
                 task_id=msg["task"],
                 attempt=int(msg["attempt"]),
@@ -84,7 +102,11 @@ def worker_main(
                 die=die,
             )
             tele.emit(
-                "exec_start", task=msg["task"], attempt=msg["attempt"], worker=worker_id
+                "exec_start",
+                task=msg["task"],
+                attempt=msg["attempt"],
+                worker=worker_id,
+                **tag,
             )
             t0 = time.monotonic()
             try:
@@ -98,6 +120,7 @@ def worker_main(
                     task=msg["task"],
                     attempt=int(msg["attempt"]),
                     worker=worker_id,
+                    **tag,
                 ):
                     artifacts = execute_task(msg["kind"], msg["params"], ctx)
             except WorkerKilled:
@@ -108,12 +131,14 @@ def worker_main(
                     task=msg["task"],
                     worker=worker_id,
                     error=f"{type(e).__name__}: {e}",
+                    **tag,
                 )
                 result_q.put(
                     {
                         "type": "result",
                         "worker": worker_id,
                         "task": msg["task"],
+                        "campaign": campaign,
                         "ok": False,
                         "error": f"{type(e).__name__}: {e}",
                         "elapsed": time.monotonic() - t0,
@@ -126,12 +151,14 @@ def worker_main(
                 task=msg["task"],
                 worker=worker_id,
                 elapsed=time.monotonic() - t0,
+                **tag,
             )
             result_q.put(
                 {
                     "type": "result",
                     "worker": worker_id,
                     "task": msg["task"],
+                    "campaign": campaign,
                     "ok": True,
                     "artifacts": artifacts,
                     "elapsed": time.monotonic() - t0,

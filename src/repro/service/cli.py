@@ -1,0 +1,111 @@
+"""``repro-serve``: run the multi-tenant campaign server.
+
+Example session::
+
+    repro-serve --workdir /tmp/svc --workers 4 --pool process \\
+        --tenant prod:4 --tenant dev:1:2:2 &
+
+    curl -s localhost:8047/healthz
+    curl -s -X POST localhost:8047/campaigns -d '{
+        "spec": {"builder": "ga", "kwargs": {"masses": [0.5]}},
+        "tenant": "prod"}'
+    curl -s localhost:8047/campaigns/<id>/status
+    curl -sN localhost:8047/campaigns/<id>/events      # live ledger tail
+    curl -s "localhost:8047/campaigns/<id>/result?timeout=120"
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.service.driver import CampaignService, ServiceConfig
+from repro.service.scheduler import TenantConfig
+from repro.service.server import CampaignServer
+
+__all__ = ["main", "parse_tenant"]
+
+
+def parse_tenant(text: str) -> TenantConfig:
+    """``NAME[:WEIGHT[:MAX_ACTIVE[:MAX_TASKS]]]`` → :class:`TenantConfig`."""
+    parts = text.split(":")
+    if not parts[0]:
+        raise argparse.ArgumentTypeError(f"bad tenant spec {text!r}: empty name")
+    try:
+        return TenantConfig(
+            name=parts[0],
+            weight=float(parts[1]) if len(parts) > 1 and parts[1] else 1.0,
+            max_active=int(parts[2]) if len(parts) > 2 and parts[2] else None,
+            max_running_tasks=int(parts[3]) if len(parts) > 3 and parts[3] else None,
+        )
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad tenant spec {text!r}: {e}") from e
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="multi-tenant campaign server with content-addressed caching",
+    )
+    p.add_argument("--workdir", required=True, help="service home (ledgers, cache)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8047)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--pool", choices=("process", "thread"), default="process")
+    p.add_argument("--policy", default="mpijm", help="per-campaign task policy")
+    p.add_argument("--window", type=int, default=8, help="max active campaigns")
+    p.add_argument(
+        "--aging-rate",
+        type=float,
+        default=0.05,
+        help="queued-priority units earned per second (anti-starvation)",
+    )
+    p.add_argument("--task-timeout", type=float, default=300.0)
+    p.add_argument(
+        "--tenant",
+        action="append",
+        type=parse_tenant,
+        default=[],
+        metavar="NAME[:WEIGHT[:MAX_ACTIVE[:MAX_TASKS]]]",
+        help="declare a tenant quota (repeatable)",
+    )
+    return p
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    config = ServiceConfig(
+        workers=args.workers,
+        pool=args.pool,
+        policy=args.policy,
+        window=args.window,
+        aging_rate=args.aging_rate,
+        task_timeout_s=args.task_timeout,
+        tenants=tuple(args.tenant),
+    )
+    service = CampaignService(args.workdir, config).start()
+    server = CampaignServer(service, args.host, args.port)
+    await server.start()
+    print(
+        f"repro-serve: listening on http://{args.host}:{server.port} "
+        f"({args.workers} {args.pool} workers, window={args.window})",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+        service.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,831 @@
+"""CampaignService: many concurrent campaigns over one shared pool.
+
+:class:`repro.runtime.campaign.CampaignRuntime` owns a pool for the
+lifetime of one campaign; a service that admits thousands of them cannot
+afford a pool per campaign any more than the paper's allocation could
+afford a batch job per solve.  So this driver inverts the ownership: one
+worker pool, started once, and a single scheduling loop multiplexing
+every *active* campaign's ready tasks over it —
+
+* **admission** in bounded windows with priority aging and per-tenant
+  quotas (:mod:`repro.service.scheduler`), each admitted campaign
+  getting a namespaced write-ahead ledger
+  (:func:`repro.runtime.ledger.open_campaign_ledger`);
+* **fair share** between tenants for every idle worker, then the
+  existing per-campaign task policy (naive/metaq/mpijm) within the
+  chosen campaign;
+* **caching** at two levels: identical specs dedupe to one campaign
+  entry (a second ``submit`` attaches, in flight or finished), and every
+  completed task publishes to the cross-campaign
+  :class:`repro.service.cache.ArtifactCAS`, so overlapping specs share
+  gauge configurations and propagators task-by-task — with in-flight
+  dedup (a task whose content fingerprint is being computed by another
+  campaign waits for that solve instead of duplicating it);
+* **fault handling** carried over from the single-campaign driver:
+  retry with backoff, quarantine + transitive skip, worker respawn with
+  a storm budget;
+* **cancellation** that stops dispatching, lets in-flight tasks land in
+  the ledger, and leaves the campaign resumable bit-for-bit by simply
+  resubmitting the same spec.
+
+The loop runs in a daemon thread; the public methods are thread-safe
+and are what the asyncio HTTP layer (:mod:`repro.service.server`) calls
+via executors.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.runtime.campaign import WorkerStormError
+from repro.runtime.exec_tasks import ArtifactStore, verify_artifacts
+from repro.runtime.ledger import TaskLedger, open_campaign_ledger, replay_ledger
+from repro.runtime.policies import make_policy
+from repro.runtime.tasks import TaskGraph, TaskStatus
+from repro.runtime.telemetry import TelemetryWriter
+from repro.runtime.worker import make_pool
+from repro.service.cache import ArtifactCAS
+from repro.service.fingerprint import normalize_spec, task_fingerprints
+from repro.service.scheduler import (
+    QueuedCampaign,
+    TenantConfig,
+    pick_tenant,
+    select_admissions,
+)
+
+__all__ = ["CampaignEntry", "CampaignService", "CampaignState", "ServiceConfig"]
+
+
+class CampaignState:
+    """Lifecycle of a submitted campaign."""
+
+    QUEUED = "queued"
+    ACTIVE = "active"
+    CANCELLING = "cancelling"  # drain in-flight tasks, dispatch nothing new
+    DONE = "done"  # every task completed
+    FAILED = "failed"  # settled, but with quarantined/skipped tasks
+    CANCELLED = "cancelled"  # resubmit the same spec to resume
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the shared pool and the tenant scheduler."""
+
+    workers: int = 4
+    pool: str = "thread"
+    policy: str = "mpijm"
+    window: int = 8  # max concurrently active campaigns
+    aging_rate: float = 0.05  # priority units earned per queued second
+    poll_interval_s: float = 0.02
+    task_timeout_s: float = 300.0  # enforced on the process pool only
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_respawns: int = 64
+    tenants: tuple[TenantConfig, ...] = ()
+
+    def tenant_map(self) -> dict[str, TenantConfig]:
+        return {t.name: t for t in self.tenants}
+
+
+@dataclass
+class CampaignEntry:
+    """One deduplicated campaign: spec, graph, ledger, progress."""
+
+    cid: str
+    fingerprint: str
+    spec: dict
+    graph: TaskGraph
+    task_fps: dict[str, str]
+    tenant: str
+    priority: float
+    workdir: Path
+    submitted: float
+    state: str = CampaignState.QUEUED
+    started: float | None = None
+    finished: float | None = None
+    status: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    artifacts: dict[str, dict[str, str]] = field(default_factory=dict)
+    ready_at: dict[str, float] = field(default_factory=dict)
+    store: ArtifactStore | None = None
+    ledger: TaskLedger | None = None
+    tele: TelemetryWriter | None = None
+    cache_hits: int = 0  # tasks satisfied from the CAS
+    tasks_reused: int = 0  # tasks replayed from this campaign's own ledger
+    attached: int = 1  # total submissions deduplicated into this entry
+    error: str | None = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def settled(self, s: str) -> bool:
+        return s in (TaskStatus.DONE, TaskStatus.QUARANTINED, TaskStatus.SKIPPED)
+
+    def all_settled(self) -> bool:
+        return all(self.settled(s) for s in self.status.values())
+
+    def done_set(self) -> set[str]:
+        return {t for t, s in self.status.items() if s == TaskStatus.DONE}
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.status.values():
+            out[s] = out.get(s, 0) + 1
+        return out
+
+
+class CampaignService:
+    """The long-running multi-tenant campaign driver."""
+
+    def __init__(self, workdir: str | Path, config: ServiceConfig | None = None):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.config = config or ServiceConfig()
+        self.cas = ArtifactCAS(self.workdir / "cas")
+        self._tenants = self.config.tenant_map()
+        self._entries: dict[str, CampaignEntry] = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._pool = None
+        self._policy = make_policy(self.config.policy)
+        self._worker_task: dict[int, tuple[str, str] | None] = {}
+        self._deadlines: dict[int, float] = {}
+        self._inflight: dict[str, tuple[str, str]] = {}  # task fp -> (cid, tid)
+        self._tele: TelemetryWriter | None = None
+        self._tenant_busy: dict[str, float] = {}
+        self._tenant_done: dict[str, int] = {}
+        self._tenant_submitted: dict[str, int] = {}
+        self._submissions = 0
+        self._dedup_attach = 0
+        self._error: str | None = None
+        self._load_existing()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "CampaignService":
+        if self._thread is not None:
+            return self
+        cfg = self.config
+        self._pool = make_pool(cfg.pool, cfg.workers, self.workdir)
+        self._pool.start()
+        self._worker_task = {w: None for w in range(cfg.workers)}
+        self._tele = TelemetryWriter(self.workdir / "telemetry.jsonl", source="service")
+        self._tele.emit("service_start", workers=cfg.workers, pool=cfg.pool)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="campaign-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.state not in CampaignState.TERMINAL:
+                    self._finalize(entry, CampaignState.CANCELLED)
+        self._pool.shutdown()
+        if self._tele is not None:
+            self._tele.emit("service_stop")
+            self._tele.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- public API (thread-safe; called by the HTTP layer) ------------------
+    def submit(
+        self, spec: Any, tenant: str = "default", priority: float = 0.0
+    ) -> dict[str, Any]:
+        """Validate, dedupe and enqueue a campaign spec.
+
+        Raises :class:`repro.service.fingerprint.SpecError` on an
+        invalid spec.  An identical spec already queued, running or
+        finished attaches to the existing entry instead of creating a
+        new one — the campaign-level cache and in-flight dedup in one
+        rule.  A cancelled or failed entry is re-enqueued: its ledger
+        replays on admission, so resubmission *is* resume.
+        """
+        graph, canonical, fp = normalize_spec(spec)
+        with self._lock:
+            self._submissions += 1
+            self._tenant_submitted[tenant] = self._tenant_submitted.get(tenant, 0) + 1
+            entry = self._entries.get(fp)
+            created = entry is None
+            reenqueued = False
+            if entry is None:
+                entry = CampaignEntry(
+                    cid=fp,
+                    fingerprint=fp,
+                    spec=canonical,
+                    graph=graph,
+                    task_fps=task_fingerprints(graph),
+                    tenant=tenant,
+                    priority=float(priority),
+                    workdir=self.workdir / "campaigns" / fp,
+                    submitted=time.monotonic(),
+                )
+                self._entries[fp] = entry
+            else:
+                entry.attached += 1
+                self._dedup_attach += 1
+                if entry.state in (CampaignState.CANCELLED, CampaignState.FAILED):
+                    entry.state = CampaignState.QUEUED
+                    entry.submitted = time.monotonic()
+                    entry.tenant = tenant
+                    entry.priority = float(priority)
+                    entry.error = None
+                    entry.done_event.clear()
+                    reenqueued = True
+            if self._tele is not None:
+                self._tele.emit(
+                    "submit",
+                    campaign=entry.cid,
+                    tenant=tenant,
+                    created=created,
+                    reenqueued=reenqueued,
+                    state=entry.state,
+                )
+        with obs.span("service.submit", cat="service", campaign=entry.cid):
+            pass
+        return {
+            "id": entry.cid,
+            "fingerprint": fp,
+            "state": entry.state,
+            "created": created,
+            "attached": entry.attached,
+        }
+
+    def status(self, cid: str) -> dict[str, Any] | None:
+        with self._lock:
+            entry = self._entries.get(cid)
+            if entry is None:
+                return None
+            return self._snapshot(entry)
+
+    def result(self, cid: str, timeout: float | None = None) -> dict[str, Any] | None:
+        """Block until terminal, then return the full result snapshot."""
+        with self._lock:
+            entry = self._entries.get(cid)
+        if entry is None:
+            return None
+        if not entry.done_event.wait(timeout):
+            return {"id": cid, "state": entry.state, "ready": False}
+        with self._lock:
+            snap = self._snapshot(entry)
+        snap["ready"] = True
+        snap["artifacts"] = dict(entry.artifacts)
+        store = entry.store or ArtifactStore(entry.workdir / "artifacts")
+        files: dict[str, str] = {}
+        for arts in entry.artifacts.values():
+            for ref in arts.values():
+                files[ref] = str(store.path(ref))
+        snap["artifact_files"] = files
+        return snap
+
+    def cancel(self, cid: str) -> dict[str, Any] | None:
+        """Stop a campaign; in-flight tasks drain into the ledger first."""
+        with self._lock:
+            entry = self._entries.get(cid)
+            if entry is None:
+                return None
+            if entry.state == CampaignState.QUEUED:
+                self._finalize(entry, CampaignState.CANCELLED)
+            elif entry.state == CampaignState.ACTIVE:
+                entry.state = CampaignState.CANCELLING
+                if not self._running_tasks(cid):
+                    self._finalize(entry, CampaignState.CANCELLED)
+            return self._snapshot(entry)
+
+    def list_campaigns(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [self._snapshot(e) for e in self._entries.values()]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for e in self._entries.values():
+                by_state[e.state] = by_state.get(e.state, 0) + 1
+            tenants = sorted(
+                set(self._tenant_submitted) | set(self._tenant_busy) | set(self._tenant_done)
+            )
+            return {
+                "submissions": self._submissions,
+                "dedup_attached": self._dedup_attach,
+                "campaigns": by_state,
+                "workers": self.config.workers,
+                "pool": self.config.pool,
+                "error": self._error,
+                "cas": self.cas.stats(),
+                "tenants": {
+                    t: {
+                        "submitted": self._tenant_submitted.get(t, 0),
+                        "busy_seconds": self._tenant_busy.get(t, 0.0),
+                        "tasks_done": self._tenant_done.get(t, 0),
+                    }
+                    for t in tenants
+                },
+            }
+
+    def read_events(self, cid: str, offset: int = 0) -> tuple[list[str], int, bool]:
+        """Tail a campaign's ledger: (new lines, new offset, terminal?).
+
+        The byte ``offset`` cursor makes the read resumable, so an HTTP
+        client that disconnected mid-stream picks up where it left off.
+        Only complete lines are returned — a torn tail (a record being
+        appended right now) stays buffered until its newline lands.
+        """
+        with self._lock:
+            entry = self._entries.get(cid)
+            if entry is None:
+                return [], offset, True
+            terminal = entry.state in CampaignState.TERMINAL
+        path = entry.workdir / "ledger.jsonl"
+        if not path.exists():
+            return [], offset, terminal
+        with path.open("rb") as f:
+            f.seek(offset)
+            chunk = f.read()
+        if not chunk:
+            return [], offset, terminal
+        complete, _, _partial = chunk.rpartition(b"\n")
+        if not complete:
+            return [], offset, terminal
+        lines = complete.decode("utf-8", errors="replace").splitlines()
+        return lines, offset + len(complete) + 1, terminal
+
+    # -- restart recovery ----------------------------------------------------
+    def _load_existing(self) -> None:
+        """Re-register finished campaigns found on disk (restart path).
+
+        A completed campaign whose artifacts still verify serves future
+        identical submissions straight from its entry; anything
+        unfinished is left for resubmission to resume.
+        """
+        root = self.workdir / "campaigns"
+        if not root.is_dir():
+            return
+        for marker in sorted(root.glob("*/campaign.json")):
+            try:
+                rec = json.loads(marker.read_text(encoding="utf-8"))
+                spec = rec.get("spec")
+                if not spec:
+                    continue
+                graph, canonical, fp = normalize_spec(spec)
+            except Exception:
+                continue
+            if fp in self._entries or marker.parent.name != fp:
+                continue
+            state = replay_ledger(marker.parent / "ledger.jsonl", campaign=fp)
+            if not state.finished:
+                continue
+            store = ArtifactStore(marker.parent / "artifacts")
+            status: dict[str, str] = {}
+            artifacts: dict[str, dict[str, str]] = {}
+            ok = True
+            for tid in graph.topo_order():
+                s = state.status.get(tid)
+                if s == TaskStatus.DONE and verify_artifacts(
+                    store, state.artifacts.get(tid, {})
+                ):
+                    status[tid] = TaskStatus.DONE
+                    artifacts[tid] = dict(state.artifacts[tid])
+                else:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            entry = CampaignEntry(
+                cid=fp,
+                fingerprint=fp,
+                spec=canonical,
+                graph=graph,
+                task_fps=task_fingerprints(graph),
+                tenant=str(rec.get("tenant", "default")),
+                priority=0.0,
+                workdir=marker.parent,
+                submitted=time.monotonic(),
+                state=CampaignState.DONE,
+                status=status,
+                artifacts=artifacts,
+                store=store,
+            )
+            entry.done_event.set()
+            self._entries[fp] = entry
+            for tid, arts in artifacts.items():
+                self.cas.put(entry.task_fps[tid], store, arts)
+
+    # -- the multiplexing loop ----------------------------------------------
+    def _loop(self) -> None:
+        cfg = self.config
+        try:
+            while not self._stop.is_set():
+                with self._lock:
+                    self._admit()
+                    self._sweep_cancelling()
+                    self._cas_sweep()
+                    self._dispatch()
+                res = self._pool.poll_result(cfg.poll_interval_s)
+                with self._lock:
+                    if res is not None:
+                        self._handle_result(res)
+                        # Drain whatever else already landed before sleeping.
+                        while True:
+                            more = self._pool.poll_result(0.0)
+                            if more is None:
+                                break
+                            self._handle_result(more)
+                    self._check_workers()
+        except WorkerStormError as e:
+            with self._lock:
+                self._error = str(e)
+                if self._tele is not None:
+                    self._tele.emit("service_error", error=str(e))
+                for entry in list(self._entries.values()):
+                    if entry.state not in CampaignState.TERMINAL:
+                        entry.error = str(e)
+                        self._finalize(entry, CampaignState.FAILED)
+
+    def _admit(self) -> None:
+        queue = [
+            QueuedCampaign(
+                cid=e.cid, tenant=e.tenant, priority=e.priority, submitted=e.submitted
+            )
+            for e in self._entries.values()
+            if e.state == CampaignState.QUEUED
+        ]
+        if not queue:
+            return
+        active_by_tenant: dict[str, int] = {}
+        for e in self._entries.values():
+            if e.state in (CampaignState.ACTIVE, CampaignState.CANCELLING):
+                active_by_tenant[e.tenant] = active_by_tenant.get(e.tenant, 0) + 1
+        for q in select_admissions(
+            queue,
+            active_by_tenant,
+            self._tenants,
+            self.config.window,
+            time.monotonic(),
+            self.config.aging_rate,
+        ):
+            self._activate(self._entries[q.cid])
+
+    def _activate(self, entry: CampaignEntry) -> None:
+        cfg = self.config
+        entry.ledger = open_campaign_ledger(
+            self.workdir / "campaigns",
+            entry.cid,
+            fingerprint=entry.graph.fingerprint(),
+            meta={"spec": entry.spec, "tenant": entry.tenant},
+        )
+        entry.store = ArtifactStore(entry.workdir / "artifacts")
+        entry.tele = TelemetryWriter(entry.workdir / "telemetry.jsonl", source="driver")
+        entry.status = {tid: TaskStatus.PENDING for tid in entry.graph.topo_order()}
+        entry.attempts = {tid: 0 for tid in entry.status}
+        entry.artifacts = {}
+        entry.ready_at = {tid: 0.0 for tid in entry.status}
+        entry.cache_hits = 0
+        entry.tasks_reused = 0
+
+        prior = replay_ledger(entry.workdir / "ledger.jsonl", campaign=entry.cid)
+        resume = bool(prior.campaign)
+        for tid, s in prior.status.items():
+            if tid not in entry.status:
+                continue
+            if s == TaskStatus.DONE:
+                arts = prior.artifacts.get(tid, {})
+                if arts and verify_artifacts(entry.store, arts):
+                    entry.status[tid] = TaskStatus.DONE
+                    entry.artifacts[tid] = arts
+                    entry.tasks_reused += 1
+                    self.cas.put(entry.task_fps[tid], entry.store, arts)
+            elif s == TaskStatus.QUARANTINED:
+                entry.status[tid] = TaskStatus.QUARANTINED
+                for victim in entry.graph.transitive_consumers(tid):
+                    if not entry.settled(entry.status.get(victim, TaskStatus.PENDING)):
+                        entry.status[victim] = TaskStatus.SKIPPED
+
+        entry.ledger.record(
+            "campaign_start",
+            policy=cfg.policy,
+            workers=cfg.workers,
+            pool=cfg.pool,
+            fingerprint=entry.graph.fingerprint(),
+            spec=entry.spec,
+            resume=resume,
+            tenant=entry.tenant,
+        )
+        entry.tele.emit("campaign_start", policy=cfg.policy, workers=cfg.workers)
+        for tid in entry.graph.topo_order():
+            if entry.status[tid] == TaskStatus.PENDING:
+                entry.ledger.record("submit", task=tid)
+                entry.tele.emit("task_queued", task=tid)
+        entry.state = CampaignState.ACTIVE
+        entry.started = time.monotonic()
+        if self._tele is not None:
+            self._tele.emit(
+                "admit",
+                campaign=entry.cid,
+                tenant=entry.tenant,
+                resume=resume,
+                reused=entry.tasks_reused,
+            )
+        with obs.span("service.admit", cat="service", campaign=entry.cid):
+            pass
+        self._maybe_finalize(entry)  # fully-replayed ledgers finish immediately
+
+    def _cas_sweep(self) -> None:
+        """Satisfy ready tasks from the CAS until a fixpoint.
+
+        A hit can unlock dependents that hit in turn (a fully-cached
+        campaign completes here without ever touching the pool), so
+        iterate until nothing changes.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for entry in list(self._entries.values()):
+                if entry.state != CampaignState.ACTIVE:
+                    continue
+                for tid in entry.graph.ready(entry.done_set()):
+                    if entry.status[tid] != TaskStatus.PENDING:
+                        continue
+                    fp = entry.task_fps[tid]
+                    if not self.cas.has(fp) or fp in self._inflight:
+                        continue
+                    arts = self.cas.materialize(fp, entry.store, tid)
+                    if arts is None:
+                        continue
+                    entry.ledger.record("done", task=tid, artifacts=arts, cached=True)
+                    entry.tele.emit("task_cached", task=tid)
+                    entry.status[tid] = TaskStatus.DONE
+                    entry.artifacts[tid] = arts
+                    entry.cache_hits += 1
+                    changed = True
+                if changed:
+                    self._maybe_finalize(entry)
+
+    def _running_tasks(self, cid: str) -> list[str]:
+        return [t for v in self._worker_task.values() if v and v[0] == cid for t in [v[1]]]
+
+    def _dispatchable(self, entry: CampaignEntry, now: float) -> list:
+        out = []
+        for tid in entry.graph.ready(entry.done_set()):
+            if entry.status[tid] != TaskStatus.PENDING:
+                continue
+            if entry.ready_at.get(tid, 0.0) > now:
+                continue
+            fp = entry.task_fps[tid]
+            owner = self._inflight.get(fp)
+            if owner is not None and owner[0] != entry.cid:
+                # In-flight dedup: another campaign is computing this very
+                # content right now; wait for its CAS publish instead.
+                continue
+            out.append(entry.graph[tid])
+        return out
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        idle = [
+            w
+            for w, v in self._worker_task.items()
+            if v is None and self._pool.alive(w)
+        ]
+        for w in idle:
+            running_by_tenant: dict[str, int] = {}
+            for v in self._worker_task.values():
+                if v is not None:
+                    t = self._entries[v[0]].tenant
+                    running_by_tenant[t] = running_by_tenant.get(t, 0) + 1
+            candidates: dict[str, int] = {}
+            per_tenant_entries: dict[str, list[CampaignEntry]] = {}
+            for entry in self._entries.values():
+                if entry.state != CampaignState.ACTIVE:
+                    continue
+                ready = self._dispatchable(entry, now)
+                if ready:
+                    candidates[entry.tenant] = candidates.get(entry.tenant, 0) + len(ready)
+                    per_tenant_entries.setdefault(entry.tenant, []).append(entry)
+            tenant = pick_tenant(candidates, running_by_tenant, self._tenants)
+            if tenant is None:
+                return
+            # Oldest-admitted campaign of the winning tenant first: FIFO
+            # completion order within a tenant, deterministic across runs.
+            entry = min(
+                per_tenant_entries[tenant], key=lambda e: (e.started or 0.0, e.cid)
+            )
+            ready = self._dispatchable(entry, now)
+            pairs = self._policy.select(ready, [w], len(self._running_tasks(entry.cid)))
+            if not pairs:
+                continue
+            _, tid = pairs[0]
+            self._dispatch_task(w, entry, tid)
+
+    def _dispatch_task(self, w: int, entry: CampaignEntry, tid: str) -> None:
+        task = entry.graph[tid]
+        entry.attempts[tid] += 1
+        entry.ledger.record("start", task=tid, worker=w, attempt=entry.attempts[tid])
+        entry.tele.emit("task_start", task=tid, worker=w, attempt=entry.attempts[tid])
+        entry.status[tid] = TaskStatus.RUNNING
+        self._worker_task[w] = (entry.cid, tid)
+        self._deadlines[w] = time.monotonic() + self.config.task_timeout_s
+        self._inflight[entry.task_fps[tid]] = (entry.cid, tid)
+        self._pool.dispatch(
+            w,
+            {
+                "task": tid,
+                "kind": task.kind,
+                "params": task.params,
+                "attempt": entry.attempts[tid],
+                "fault": None,
+                "workdir": str(entry.workdir),
+                "campaign": entry.cid,
+            },
+        )
+
+    def _handle_result(self, res: dict) -> None:
+        w = int(res["worker"])
+        cid = res.get("campaign")
+        tid = res["task"]
+        if self._worker_task.get(w) != (cid, tid):
+            return  # stale report from a worker we already wrote off
+        self._worker_task[w] = None
+        self._deadlines.pop(w, None)
+        entry = self._entries.get(cid)
+        if entry is None or entry.ledger is None:
+            return
+        fp = entry.task_fps.get(tid)
+        if self._inflight.get(fp) == (cid, tid):
+            self._inflight.pop(fp, None)
+        elapsed = float(res.get("elapsed", 0.0))
+        self._tenant_busy[entry.tenant] = self._tenant_busy.get(entry.tenant, 0.0) + elapsed
+        if res["ok"]:
+            arts = dict(res["artifacts"])
+            entry.artifacts[tid] = arts
+            entry.ledger.record("done", task=tid, artifacts=arts)
+            entry.tele.emit(
+                "task_finish", task=tid, worker=w, ok=True, elapsed=elapsed
+            )
+            entry.status[tid] = TaskStatus.DONE
+            self._tenant_done[entry.tenant] = self._tenant_done.get(entry.tenant, 0) + 1
+            self.cas.put(fp, entry.store, arts)
+        else:
+            entry.tele.emit("task_finish", task=tid, worker=w, ok=False)
+            self._task_failed(entry, tid, res.get("error", "unknown error"))
+        self._maybe_finalize(entry)
+
+    def _task_failed(self, entry: CampaignEntry, tid: str, reason: str) -> None:
+        task = entry.graph[tid]
+        entry.ledger.record("fail", task=tid, attempt=entry.attempts[tid], reason=reason)
+        if entry.attempts[tid] >= task.max_attempts:
+            entry.ledger.record(
+                "quarantine",
+                task=tid,
+                reason=f"{entry.attempts[tid]} attempts, last: {reason}",
+            )
+            entry.tele.emit("task_quarantined", task=tid, reason=reason)
+            entry.status[tid] = TaskStatus.QUARANTINED
+            for victim in sorted(entry.graph.transitive_consumers(tid)):
+                if not entry.settled(entry.status[victim]):
+                    entry.ledger.record("skip", task=victim, blocked_by=tid)
+                    entry.tele.emit("task_skipped", task=victim, blocked_by=tid)
+                    entry.status[victim] = TaskStatus.SKIPPED
+            return
+        cfg = self.config
+        backoff = cfg.backoff_base_s * cfg.backoff_factor ** (entry.attempts[tid] - 1)
+        entry.ready_at[tid] = time.monotonic() + backoff
+        entry.status[tid] = TaskStatus.PENDING
+        entry.ledger.record(
+            "retry", task=tid, attempt=entry.attempts[tid], backoff_s=backoff
+        )
+        entry.tele.emit(
+            "task_retry", task=tid, attempt=entry.attempts[tid], backoff_s=backoff
+        )
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
+        for w in list(self._worker_task):
+            assigned = self._worker_task[w]
+            if not self._pool.alive(w):
+                if assigned is not None:
+                    cid, tid = assigned
+                    self._worker_task[w] = None
+                    self._deadlines.pop(w, None)
+                    entry = self._entries.get(cid)
+                    if entry is not None and entry.ledger is not None:
+                        fp = entry.task_fps.get(tid)
+                        if self._inflight.get(fp) == (cid, tid):
+                            self._inflight.pop(fp, None)
+                        entry.tele.emit("worker_death", worker=w, task=tid)
+                        self._task_failed(entry, tid, "worker died")
+                        self._maybe_finalize(entry)
+                self._respawn(w)
+            elif (
+                assigned is not None
+                and self._pool.kind == "process"
+                and self._deadlines.get(w, float("inf")) <= now
+            ):
+                cid, tid = assigned
+                entry = self._entries.get(cid)
+                self._pool.kill(w)
+                self._worker_task[w] = None
+                self._deadlines.pop(w, None)
+                if entry is not None and entry.ledger is not None:
+                    fp = entry.task_fps.get(tid)
+                    if self._inflight.get(fp) == (cid, tid):
+                        self._inflight.pop(fp, None)
+                    entry.tele.emit("task_timeout", task=tid, worker=w)
+                    self._task_failed(entry, tid, "task timeout")
+                    self._maybe_finalize(entry)
+                self._respawn(w)
+
+    def _respawn(self, w: int) -> None:
+        cfg = self.config
+        if self._pool.spawns >= cfg.workers + cfg.max_respawns:
+            raise WorkerStormError(
+                f"workers keep dying ({self._pool.spawns} spawns for "
+                f"{cfg.workers} slots); giving up instead of thrashing"
+            )
+        self._pool.spawn(w)
+        if self._tele is not None:
+            self._tele.emit("worker_spawn", worker=w, respawn=True)
+
+    def _sweep_cancelling(self) -> None:
+        for entry in list(self._entries.values()):
+            if entry.state == CampaignState.CANCELLING and not self._running_tasks(
+                entry.cid
+            ):
+                self._finalize(entry, CampaignState.CANCELLED)
+
+    def _maybe_finalize(self, entry: CampaignEntry) -> None:
+        if entry.state == CampaignState.CANCELLING:
+            if not self._running_tasks(entry.cid):
+                self._finalize(entry, CampaignState.CANCELLED)
+            return
+        if entry.state != CampaignState.ACTIVE or not entry.all_settled():
+            return
+        all_done = all(s == TaskStatus.DONE for s in entry.status.values())
+        entry.ledger.record(
+            "campaign_finish",
+            done=sum(1 for s in entry.status.values() if s == TaskStatus.DONE),
+            quarantined=sum(
+                1 for s in entry.status.values() if s == TaskStatus.QUARANTINED
+            ),
+        )
+        entry.tele.emit("campaign_finish")
+        if not all_done:
+            entry.error = "completed with quarantined/skipped tasks"
+        self._finalize(
+            entry, CampaignState.DONE if all_done else CampaignState.FAILED
+        )
+
+    def _finalize(self, entry: CampaignEntry, state: str) -> None:
+        entry.state = state
+        entry.finished = time.monotonic()
+        if entry.ledger is not None:
+            entry.ledger.close()
+            entry.ledger = None
+        if entry.tele is not None:
+            entry.tele.close()
+            entry.tele = None
+        if self._tele is not None and not self._tele.closed:
+            self._tele.emit("campaign_terminal", campaign=entry.cid, state=state)
+        with obs.span("service.complete", cat="service", campaign=entry.cid, state=state):
+            pass
+        entry.done_event.set()
+
+    # -- snapshots -----------------------------------------------------------
+    def _snapshot(self, entry: CampaignEntry) -> dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "id": entry.cid,
+            "fingerprint": entry.fingerprint,
+            "tenant": entry.tenant,
+            "state": entry.state,
+            "priority": entry.priority,
+            "n_tasks": len(entry.graph.tasks),
+            "counts": entry.counts(),
+            "cache_hits": entry.cache_hits,
+            "tasks_reused": entry.tasks_reused,
+            "attached": entry.attached,
+            "error": entry.error,
+            "age_s": now - entry.submitted,
+            "elapsed_s": (
+                (entry.finished or now) - entry.started
+                if entry.started is not None
+                else 0.0
+            ),
+            "workdir": str(entry.workdir),
+        }

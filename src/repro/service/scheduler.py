@@ -1,0 +1,154 @@
+"""Multi-tenant campaign scheduling: fair share, aging, admission windows.
+
+:mod:`repro.runtime.policies` decides which *task* an idle worker takes
+within one campaign; this module decides the layer above — which
+*campaigns* are active at all, and which tenant's active campaign gets
+the next idle worker.  The mpi_jm lump/block story generalizes directly:
+
+* **Admission windows** — the service never activates more than
+  ``window`` campaigns at once, admitting the queue in bounded slices
+  exactly the way ``filipjs/Simulator`` carves an unbounded job stream
+  into blocks: the scheduler reasons over a window it can afford, not
+  the whole backlog.
+
+* **Priority aging** — queued campaigns are ordered by
+  ``base_priority + aging_rate * wait_time``, so a low-priority tenant's
+  campaign cannot starve behind an arbitrarily long stream of
+  high-priority arrivals: after ``(p_high - p_low) / aging_rate``
+  seconds of waiting it outranks any fresh high-priority submission.
+
+* **Fair share** — among *active* campaigns, each idle worker goes to
+  the tenant currently using the least of its entitlement
+  (``running_tasks / weight``, min-wins) — the classic fair-share rule,
+  bounded by per-tenant quotas (``max_active`` campaigns admitted,
+  ``max_running_tasks`` workers occupied).
+
+Everything here is a pure function of explicit arguments (no clocks, no
+globals), which is what lets the hypothesis starvation-bound test drive
+it over arbitrary arrival orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TenantConfig",
+    "QueuedCampaign",
+    "effective_priority",
+    "admission_order",
+    "select_admissions",
+    "pick_tenant",
+]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant entitlement and quotas.
+
+    ``weight`` sets the fair share (2.0 gets twice the workers of 1.0
+    under contention); ``max_active`` caps concurrently *admitted*
+    campaigns; ``max_running_tasks`` caps concurrently *occupied
+    workers*.  ``None`` means unlimited.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_active: int | None = None
+    max_running_tasks: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError(f"tenant {self.name!r}: max_active must be >= 1")
+        if self.max_running_tasks is not None and self.max_running_tasks < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: max_running_tasks must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class QueuedCampaign:
+    """What the admission scheduler knows about a waiting campaign."""
+
+    cid: str
+    tenant: str
+    priority: float = 0.0
+    submitted: float = 0.0  # service-clock submission time
+
+
+def effective_priority(q: QueuedCampaign, now: float, aging_rate: float) -> float:
+    """Base priority plus earned age — the anti-starvation ramp."""
+    return q.priority + aging_rate * max(0.0, now - q.submitted)
+
+
+def admission_order(
+    queue: list[QueuedCampaign], now: float, aging_rate: float
+) -> list[QueuedCampaign]:
+    """Queue sorted by effective priority (desc), FIFO within ties."""
+    return sorted(
+        queue,
+        key=lambda q: (-effective_priority(q, now, aging_rate), q.submitted, q.cid),
+    )
+
+
+def select_admissions(
+    queue: list[QueuedCampaign],
+    active_by_tenant: dict[str, int],
+    tenants: dict[str, TenantConfig],
+    window: int,
+    now: float,
+    aging_rate: float,
+) -> list[QueuedCampaign]:
+    """Choose which queued campaigns enter the active window now.
+
+    Walks the aged-priority order, skipping campaigns whose tenant is at
+    its ``max_active`` quota (a quota-blocked campaign never blocks the
+    tenants behind it), until the window is full.
+    """
+    n_active = sum(active_by_tenant.values())
+    slots = max(0, window - n_active)
+    if not slots:
+        return []
+    active = dict(active_by_tenant)
+    admitted: list[QueuedCampaign] = []
+    for q in admission_order(queue, now, aging_rate):
+        if len(admitted) >= slots:
+            break
+        tcfg = tenants.get(q.tenant)
+        quota = tcfg.max_active if tcfg else None
+        if quota is not None and active.get(q.tenant, 0) >= quota:
+            continue
+        active[q.tenant] = active.get(q.tenant, 0) + 1
+        admitted.append(q)
+    return admitted
+
+
+def pick_tenant(
+    candidates: dict[str, int],
+    running_tasks: dict[str, int],
+    tenants: dict[str, TenantConfig],
+) -> str | None:
+    """The tenant entitled to the next idle worker, or ``None``.
+
+    ``candidates`` maps tenant -> number of dispatchable tasks its
+    active campaigns have right now.  Among tenants with work and
+    headroom under ``max_running_tasks``, the one with the smallest
+    ``running / weight`` wins (ties broken by name for determinism).
+    """
+    best: str | None = None
+    best_key: tuple[float, str] | None = None
+    for tenant, n_ready in candidates.items():
+        if n_ready <= 0:
+            continue
+        tcfg = tenants.get(tenant)
+        running = running_tasks.get(tenant, 0)
+        cap = tcfg.max_running_tasks if tcfg else None
+        if cap is not None and running >= cap:
+            continue
+        weight = tcfg.weight if tcfg else 1.0
+        key = (running / weight, tenant)
+        if best_key is None or key < best_key:
+            best, best_key = tenant, key
+    return best

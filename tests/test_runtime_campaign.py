@@ -156,3 +156,93 @@ class TestConfigValidation:
         rt = CampaignRuntime(tmp_path, CampaignConfig(policy="wishful"))
         with pytest.raises(ValueError, match="unknown policy"):
             rt.run(graph)
+
+
+class TestEmbeddableRuntime:
+    """The service-facing contract: typed errors, cooperative cancel."""
+
+    def test_typed_exception_hierarchy(self):
+        from repro.runtime import (
+            CampaignError,
+            LedgerMismatchError,
+            WorkerStormError,
+        )
+
+        assert issubclass(LedgerMismatchError, CampaignError)
+        assert issubclass(WorkerStormError, CampaignError)
+        # Pre-service callers catch ValueError on a resume mismatch; the
+        # typed error must keep satisfying them.
+        assert issubclass(LedgerMismatchError, ValueError)
+        assert issubclass(CampaignError, RuntimeError)
+
+    def test_resume_mismatch_raises_ledger_mismatch_error(self, tmp_path):
+        from repro.runtime import LedgerMismatchError
+
+        graph, spec = build_sleep_campaign(n_long=1, n_short=1,
+                                           long_s=0.01, short_s=0.01)
+        _run(tmp_path, graph, spec)
+        other, _ = build_sleep_campaign(n_long=2, n_short=1,
+                                        long_s=0.01, short_s=0.01)
+        rt = CampaignRuntime(
+            tmp_path, CampaignConfig(workers=2, pool="thread"), spec=spec
+        )
+        with pytest.raises(LedgerMismatchError, match="fingerprint"):
+            rt.run(other, resume=True)
+
+    def test_cancel_mid_run_then_resume_completes(self, tmp_path):
+        import threading
+        import time
+
+        graph, spec = build_sleep_campaign(
+            n_long=3, n_short=6, long_s=0.3, short_s=0.05
+        )
+        rt = CampaignRuntime(
+            tmp_path,
+            CampaignConfig(workers=2, policy="metaq", pool="thread",
+                           backoff_base_s=0.01),
+            spec=spec,
+        )
+
+        def cancel_soon():
+            # wait for real progress so the resume has work to reuse
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                st = replay_ledger(tmp_path / "ledger.jsonl")
+                if len(st.done_tasks()) >= 1:
+                    break
+                time.sleep(0.01)
+            rt.cancel()
+
+        t = threading.Thread(target=cancel_soon)
+        t.start()
+        res = rt.run(graph)
+        t.join()
+        assert res.cancelled
+        assert res.interrupted
+        assert not res.all_done
+        from repro.runtime import TaskStatus
+        done_at_cancel = sum(
+            1 for st in res.status.values() if st == TaskStatus.DONE
+        )
+        assert done_at_cancel >= 1
+
+        # the same runtime object resumes cooperatively
+        graph2, _ = build_sleep_campaign(
+            n_long=3, n_short=6, long_s=0.3, short_s=0.05
+        )
+        res2 = rt.run(graph2, resume=True)
+        assert not res2.cancelled
+        assert res2.all_done
+        assert res2.tasks_reused >= done_at_cancel
+
+    def test_cancel_before_run_does_not_stick(self, tmp_path):
+        # run() clears any stale cancel flag: cancel-then-run completes.
+        graph, spec = build_sleep_campaign(n_long=1, n_short=2,
+                                           long_s=0.02, short_s=0.01)
+        rt = CampaignRuntime(
+            tmp_path, CampaignConfig(workers=2, pool="thread"), spec=spec
+        )
+        rt.cancel()
+        res = rt.run(graph)
+        assert res.all_done
+        assert not res.cancelled

@@ -1,0 +1,128 @@
+"""Canonical spec fingerprints: the cache keys must be spelling-blind.
+
+Two clients describing the same campaign — different dict orderings,
+defaults spelled out or omitted, ``1`` vs ``1.0``, tuples vs lists —
+must land on the same fingerprint, or the content-addressed cache
+fragments and the service re-solves work it already has.  The seeded
+Fig. 2 spec's fingerprint is pinned: any change to canonicalization or
+builder defaults that silently invalidates every cached result in every
+deployment must fail a test first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.builder import build_from_spec
+from repro.service.fingerprint import (
+    SpecError,
+    canonical_spec,
+    normalize_spec,
+    spec_fingerprint,
+    task_fingerprints,
+)
+
+# The seeded Fig. 2 campaign (build_ga_campaign defaults). Changing this
+# value invalidates every content-addressed cache in existence — bump it
+# only with a deliberate cache-format migration.
+FIG2_FINGERPRINT = "b5ebcae63d1c326e71bb1f85"
+
+
+class TestSpecCanonicalization:
+    def test_fig2_fingerprint_pinned(self):
+        assert spec_fingerprint({"builder": "ga", "kwargs": {}}) == FIG2_FINGERPRINT
+
+    def test_defaults_spelled_out_hash_identically(self):
+        explicit = {
+            "builder": "ga",
+            "kwargs": {"masses": [0.35, 0.5], "seed": 7, "tol": 1e-7},
+        }
+        assert spec_fingerprint(explicit) == FIG2_FINGERPRINT
+
+    def test_dict_ordering_is_irrelevant(self):
+        a = {"builder": "ga", "kwargs": {"seed": 9, "masses": [0.5], "tol": 1e-5}}
+        b = {"kwargs": {"tol": 1e-5, "seed": 9, "masses": [0.5]}, "builder": "ga"}
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_int_vs_float_spelling_normalized(self):
+        a = {"builder": "ga", "kwargs": {"masses": [1], "scale": 1}}
+        b = {"builder": "ga", "kwargs": {"masses": [1.0], "scale": 1.0}}
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_tuple_vs_list_spelling_normalized(self):
+        a = {"builder": "sleep", "kwargs": {"n_long": 2}}
+        graph_a, canon_a, fp_a = normalize_spec(a)
+        assert fp_a == spec_fingerprint(dict(a, kwargs=dict(a["kwargs"])))
+
+    def test_canonical_spec_round_trips_to_same_fingerprint(self):
+        spec = {"builder": "ga", "kwargs": {"masses": [0.8], "seed": 3}}
+        canon = canonical_spec(spec)
+        assert spec_fingerprint(canon) == spec_fingerprint(spec)
+
+    def test_different_physics_different_fingerprint(self):
+        base = {"builder": "ga", "kwargs": {}}
+        other = {"builder": "ga", "kwargs": {"seed": 8}}
+        assert spec_fingerprint(base) != spec_fingerprint(other)
+
+    def test_normalize_returns_buildable_graph(self):
+        graph, canon, fp = normalize_spec({"builder": "ga", "kwargs": {}})
+        rebuilt, _ = build_from_spec(canon)
+        assert rebuilt.fingerprint() == graph.fingerprint()
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            42,
+            "ga",
+            [],
+            {"builder": "nope"},
+            {"builder": "ga", "kwargs": {"bogus_knob": 1}},
+            {"builder": "ga", "kwargs": []},
+            {"builder": "ga", "kwargs": {}, "extra": 1},
+            {"builder": "ga", "kwargs": {"poly_degree": 4}},  # needs poly_window
+        ],
+    )
+    def test_invalid_specs_raise_spec_error(self, bad):
+        with pytest.raises(SpecError):
+            normalize_spec(bad)
+
+    def test_spec_error_is_a_value_error(self):
+        # The HTTP layer maps ValueError-family failures to 400s.
+        assert issubclass(SpecError, ValueError)
+
+
+class TestTaskFingerprints:
+    def test_task_ids_do_not_enter_the_hash(self):
+        # Same content, different campaign: per-task fps line up even
+        # though the graphs are distinct objects.
+        g1, _, _ = normalize_spec({"builder": "ga", "kwargs": {"masses": [0.9]}})
+        g2, _, _ = normalize_spec({"builder": "ga", "kwargs": {"masses": [0.9]}})
+        assert task_fingerprints(g1) == task_fingerprints(g2)
+
+    def test_shared_prefix_shared_fingerprints(self):
+        # Two specs differing only in mass share the gauge/fix/smear cone.
+        g1, _, _ = normalize_spec({"builder": "ga", "kwargs": {"masses": [0.9]}})
+        g2, _, _ = normalize_spec({"builder": "ga", "kwargs": {"masses": [1.1]}})
+        f1, f2 = task_fingerprints(g1), task_fingerprints(g2)
+        for shared in ("gauge", "gaugefix", "smear"):
+            assert f1[shared] == f2[shared]
+        assert f1["prop_m0"] != f2["prop_m0"]
+
+    def test_upstream_change_propagates_downstream(self):
+        # A different seed changes the gauge task, and therefore every
+        # consumer, even though the consumers' own params are unchanged.
+        g1, _, _ = normalize_spec({"builder": "ga", "kwargs": {"seed": 7}})
+        g2, _, _ = normalize_spec({"builder": "ga", "kwargs": {"seed": 8}})
+        f1, f2 = task_fingerprints(g1), task_fingerprints(g2)
+        assert f1["gauge"] != f2["gauge"]
+        assert f1["prop_m0"] != f2["prop_m0"]
+        assert f1["assemble"] != f2["assemble"]
+
+    def test_every_task_fingerprinted(self):
+        g, _, _ = normalize_spec({"builder": "ga", "kwargs": {}})
+        fps = task_fingerprints(g)
+        assert set(fps) == set(g.tasks)
+        assert all(len(v) == 32 for v in fps.values())

@@ -1,0 +1,223 @@
+"""Tenant scheduler invariants, including the hypothesis starvation bound.
+
+The scheduler functions are pure, so hypothesis can drive them over
+arbitrary arrival orders and priorities and assert the properties that
+matter at service scale: quotas are never exceeded, the window is never
+overfilled, fair share favors the under-served tenant, and — the big
+one — priority aging bounds how long any campaign can starve behind a
+stream of higher-priority arrivals.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.scheduler import (
+    QueuedCampaign,
+    TenantConfig,
+    admission_order,
+    effective_priority,
+    pick_tenant,
+    select_admissions,
+)
+
+
+class TestTenantConfig:
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            TenantConfig(name="x", weight=0.0)
+
+    def test_rejects_zero_quotas(self):
+        with pytest.raises(ValueError, match="max_active"):
+            TenantConfig(name="x", max_active=0)
+        with pytest.raises(ValueError, match="max_running_tasks"):
+            TenantConfig(name="x", max_running_tasks=0)
+
+
+class TestAdmission:
+    def test_priority_wins_fresh(self):
+        q = [
+            QueuedCampaign("lo", "a", priority=0.0, submitted=0.0),
+            QueuedCampaign("hi", "a", priority=5.0, submitted=1.0),
+        ]
+        assert [c.cid for c in admission_order(q, now=1.0, aging_rate=0.0)] == [
+            "hi",
+            "lo",
+        ]
+
+    def test_aging_overtakes_priority(self):
+        # After (p_hi - p_lo) / rate seconds of waiting, the old
+        # low-priority campaign outranks any fresh high-priority one.
+        q = [
+            QueuedCampaign("old_lo", "a", priority=0.0, submitted=0.0),
+            QueuedCampaign("new_hi", "a", priority=5.0, submitted=100.0),
+        ]
+        order = admission_order(q, now=100.0 + 1e-9, aging_rate=0.1)
+        assert order[0].cid == "old_lo"  # earned 10 units of age > 5
+
+    def test_fifo_within_equal_priority(self):
+        q = [
+            QueuedCampaign("b", "a", priority=1.0, submitted=2.0),
+            QueuedCampaign("a", "a", priority=1.0, submitted=1.0),
+        ]
+        assert [c.cid for c in admission_order(q, 2.0, 0.0)] == ["a", "b"]
+
+    def test_window_bound(self):
+        q = [QueuedCampaign(f"c{i}", "a", submitted=float(i)) for i in range(10)]
+        out = select_admissions(q, {}, {}, window=3, now=10.0, aging_rate=0.0)
+        assert [c.cid for c in out] == ["c0", "c1", "c2"]
+
+    def test_window_accounts_for_already_active(self):
+        q = [QueuedCampaign(f"c{i}", "a", submitted=float(i)) for i in range(5)]
+        out = select_admissions(q, {"a": 2}, {}, window=3, now=10.0, aging_rate=0.0)
+        assert len(out) == 1
+
+    def test_quota_blocked_campaign_does_not_block_others(self):
+        tenants = {"greedy": TenantConfig("greedy", max_active=1)}
+        q = [
+            QueuedCampaign("g1", "greedy", priority=9.0, submitted=0.0),
+            QueuedCampaign("g2", "greedy", priority=9.0, submitted=1.0),
+            QueuedCampaign("m1", "modest", priority=0.0, submitted=2.0),
+        ]
+        out = select_admissions(q, {}, tenants, window=2, now=3.0, aging_rate=0.0)
+        assert [c.cid for c in out] == ["g1", "m1"]
+
+
+class TestFairShare:
+    def test_underserved_tenant_wins(self):
+        picked = pick_tenant({"a": 3, "b": 3}, {"a": 4, "b": 1}, {})
+        assert picked == "b"
+
+    def test_weight_scales_entitlement(self):
+        tenants = {"a": TenantConfig("a", weight=4.0), "b": TenantConfig("b")}
+        # a runs 4 tasks but is 4x weighted: 4/4 == 1/1, tie -> name order.
+        assert pick_tenant({"a": 1, "b": 1}, {"a": 4, "b": 1}, tenants) == "a"
+
+    def test_task_quota_excludes_tenant(self):
+        tenants = {"a": TenantConfig("a", max_running_tasks=2)}
+        assert pick_tenant({"a": 5, "b": 1}, {"a": 2, "b": 2}, tenants) == "b"
+
+    def test_no_candidates_returns_none(self):
+        assert pick_tenant({"a": 0}, {}, {}) is None
+
+
+# -- hypothesis property suites ---------------------------------------------
+
+_tenant_names = st.sampled_from(["t0", "t1", "t2"])
+
+
+@st.composite
+def queues(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    return [
+        QueuedCampaign(
+            cid=f"c{i}",
+            tenant=draw(_tenant_names),
+            priority=draw(st.floats(min_value=0.0, max_value=10.0)),
+            submitted=draw(st.floats(min_value=0.0, max_value=100.0)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestAdmissionProperties:
+    @given(
+        q=queues(),
+        window=st.integers(min_value=1, max_value=6),
+        max_active=st.integers(min_value=1, max_value=3),
+        now=st.floats(min_value=100.0, max_value=200.0),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_and_quota_invariants(self, q, window, max_active, now, rate):
+        tenants = {
+            t: TenantConfig(t, max_active=max_active) for t in ("t0", "t1", "t2")
+        }
+        out = select_admissions(q, {}, tenants, window, now, rate)
+        # never overfills the window, never double-admits, never
+        # exceeds any tenant's quota
+        assert len(out) <= window
+        assert len({c.cid for c in out}) == len(out)
+        for t in tenants:
+            assert sum(1 for c in out if c.tenant == t) <= max_active
+        # work-conserving: if nothing was admitted the window was full
+        # or every queued campaign was quota-blocked (not possible with
+        # an empty active map and max_active >= 1)
+        assert out, "empty admission despite free window and free quotas"
+
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=5.0, max_value=10.0), min_size=1, max_size=30
+        ),
+        rate=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_starvation_bound(self, arrivals, rate):
+        """A waiting low-priority campaign is admitted within the aging
+        horizon no matter how many high-priority campaigns keep arriving.
+
+        The bound: once the victim has waited ``p_max / rate`` seconds it
+        outranks every *fresh* arrival, so with a window of 1 slot
+        becoming free each step it must be chosen no later than the
+        first step after the horizon."""
+        victim = QueuedCampaign("victim", "t0", priority=0.0, submitted=0.0)
+        horizon = 10.0 / rate  # p <= 10 for every rival
+        step = 1.0
+        t, i = 0.0, 0
+        queue = [victim]
+        while t <= horizon + 2 * step:
+            # a fresh high-priority rival arrives every step, forever
+            queue.append(
+                QueuedCampaign(f"rival{i}", "t1", priority=arrivals[i % len(arrivals)],
+                               submitted=t)
+            )
+            i += 1
+            chosen = select_admissions(queue, {}, {}, window=1, now=t, aging_rate=rate)
+            assert chosen, "one free slot must always admit someone"
+            if chosen[0].cid == "victim":
+                # admitted within the bound: wait <= horizon + 2 steps
+                assert t <= horizon + 2 * step
+                return
+            queue.remove(chosen[0])  # the winner leaves the queue
+            t += step
+        pytest.fail(f"victim starved past the aging horizon ({horizon:.1f}s)")
+
+    @given(
+        running=st.dictionaries(
+            _tenant_names, st.integers(min_value=0, max_value=8), min_size=1
+        ),
+        weights=st.dictionaries(
+            _tenant_names,
+            st.floats(min_value=0.5, max_value=4.0),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fair_share_picks_minimum_normalized_load(self, running, weights):
+        tenants = {t: TenantConfig(t, weight=w) for t, w in weights.items()}
+        candidates = {t: 1 for t in weights}
+        picked = pick_tenant(candidates, running, tenants)
+        assert picked is not None
+        load = {t: running.get(t, 0) / weights[t] for t in weights}
+        assert load[picked] == min(load.values())
+
+
+class TestEffectivePriority:
+    @given(
+        p=st.floats(min_value=0, max_value=10),
+        wait=st.floats(min_value=0, max_value=1000),
+        rate=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_wait(self, p, wait, rate):
+        q = QueuedCampaign("c", "t", priority=p, submitted=0.0)
+        assert effective_priority(q, wait + 1.0, rate) >= effective_priority(
+            q, wait, rate
+        )
+
+    def test_clock_skew_never_negative_age(self):
+        q = QueuedCampaign("c", "t", priority=2.0, submitted=10.0)
+        assert effective_priority(q, 5.0, 1.0) == 2.0  # age clamps at 0

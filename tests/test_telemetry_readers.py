@@ -155,3 +155,104 @@ class TestTraceReader:
             [json.dumps({"name": "a", "t0": 1.0, "dur": 0.1})],
         )
         assert [s["name"] for s in load_spans(tmp_path)] == ["a"]
+
+
+class TestLedgerConcurrency:
+    """Satellite of the campaign service: one process, many campaigns."""
+
+    def test_record_is_thread_safe(self, tmp_path):
+        import threading
+
+        from repro.runtime.ledger import TaskLedger, replay_ledger
+
+        ledger = TaskLedger(tmp_path / "ledger.jsonl")
+        n_threads, n_each = 8, 50
+
+        def hammer(k):
+            for i in range(n_each):
+                ledger.record("done", task=f"t{k}-{i}", artifacts={})
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ledger.close()
+        # no torn or interleaved lines: every record parses and counts
+        st = replay_ledger(tmp_path / "ledger.jsonl")
+        assert st.events == n_threads * n_each
+        assert len(st.done_tasks()) == n_threads * n_each
+
+    def test_namespaced_ledgers_never_share_a_file(self, tmp_path):
+        from repro.runtime.ledger import open_campaign_ledger, replay_ledger
+
+        a = open_campaign_ledger(tmp_path, "camp-a", fingerprint="fpA")
+        b = open_campaign_ledger(tmp_path, "camp-b", fingerprint="fpB")
+        a.record("done", task="x", artifacts={})
+        b.record("done", task="y", artifacts={})
+        a.close()
+        b.close()
+        assert a.path != b.path
+        assert replay_ledger(a.path).done_tasks() == {"x"}
+        assert replay_ledger(b.path).done_tasks() == {"y"}
+
+    def test_id_collision_guard(self, tmp_path):
+        from repro.runtime.ledger import (
+            LedgerCollisionError,
+            open_campaign_ledger,
+        )
+
+        first = open_campaign_ledger(tmp_path, "camp", fingerprint="fpA")
+        first.close()
+        # same id + same fingerprint: a resume, allowed
+        again = open_campaign_ledger(tmp_path, "camp", fingerprint="fpA")
+        again.close()
+        # same id + different graph: refused before any write
+        with pytest.raises(LedgerCollisionError, match="camp"):
+            open_campaign_ledger(tmp_path, "camp", fingerprint="fpB")
+        # and the guard is a ValueError, like every resume-refusal
+        assert issubclass(LedgerCollisionError, ValueError)
+
+    def test_replay_filters_interleaved_campaigns(self, tmp_path):
+        from repro.runtime.ledger import TaskLedger, replay_ledger
+
+        # Two writers pointed at ONE file (a hand-merged archive, or the
+        # pre-namespacing bug this guards against): the campaign tag lets
+        # the reader pull each campaign's facts back apart.
+        shard = tmp_path / "merged.jsonl"
+        a = TaskLedger(shard, campaign="camp-a")
+        b = TaskLedger(shard, campaign="camp-b")
+        a.record("campaign_start", fingerprint="fpA")
+        b.record("campaign_start", fingerprint="fpB")
+        a.record("done", task="shared_name", artifacts={"out": "shared_name:out"})
+        b.record("fail", task="shared_name", attempt=1, reason="boom")
+        a.record("campaign_finish")
+        a.close()
+        b.close()
+
+        sa = replay_ledger(shard, campaign="camp-a")
+        sb = replay_ledger(shard, campaign="camp-b")
+        assert sa.campaign["fingerprint"] == "fpA"
+        assert sb.campaign["fingerprint"] == "fpB"
+        # the same task id resolves differently per campaign
+        assert sa.done_tasks() == {"shared_name"}
+        assert sb.done_tasks() == set()
+        assert sa.finished and not sb.finished
+        # an unfiltered replay sees every record (last-writer-wins soup)
+        assert replay_ledger(shard).events == 5
+
+    def test_untagged_records_always_count(self, tmp_path):
+        from repro.runtime.ledger import TaskLedger, replay_ledger
+
+        # A pre-service ledger has no campaign tags; filtering by any
+        # campaign id must still replay it in full (backward compat).
+        shard = tmp_path / "old.jsonl"
+        legacy = TaskLedger(shard)
+        legacy.record("campaign_start", fingerprint="fpOld")
+        legacy.record("done", task="x", artifacts={})
+        legacy.close()
+        st = replay_ledger(shard, campaign="whatever")
+        assert st.done_tasks() == {"x"}
+        assert st.campaign["fingerprint"] == "fpOld"
