@@ -62,6 +62,29 @@ def _render(results: dict) -> str:
             )
     for note in eng.get("skipped", []):
         lines.append(f"skipped: {note}")
+    th = results.get("transport_halo", {})
+    for transport, entry in th.get("transports", {}).items():
+        if "skipped" in entry:
+            lines.append(f"{th['volume']:>10s}  {transport:<9s} skipped: {entry['skipped']}")
+            continue
+        for policy, row in entry["policies"].items():
+            lines.append(
+                f"{th['volume']:>10s}  ranks={th['ranks']} {transport:<9s} "
+                f"{policy:<9s} {row['seconds'] * 1e3:8.2f} ms  "
+                f"(halo wait {row['halo_wait_s'] * 1e3:.2f} ms)"
+            )
+        if entry.get("overlap_efficiency") is not None:
+            lines.append(
+                f"{th['volume']:>10s}  {transport:<9s} overlap hides "
+                f"{entry['overlap_efficiency']:.0%} of the halo wait"
+            )
+        mc = entry.get("model_check")
+        if mc:
+            lines.append(
+                f"{th['volume']:>10s}  mpi model check: predicted "
+                f"{mc['predicted_s'] * 1e6:.1f} us vs measured "
+                f"{mc['measured_s'] * 1e6:.1f} us per round"
+            )
     race = results["measured_policy_race"]
     lines.append(
         f"measured race @ {race['volume']} ranks={race['ranks']}: "
@@ -99,6 +122,13 @@ def test_decomp_headline_speedup(report):
     assert results["host"]["cpu_count"] >= 1
     eng = results["engine_rows"]
     assert any(r["engine"] == "interpreted" for r in eng["rows"])
+    # per-transport halo rows: in-process transports always report
+    # measured waits; mpi either reports rows or a skip reason
+    th = results["transport_halo"]["transports"]
+    for transport in ("threads", "shm", "loopback"):
+        assert "policies" in th[transport], th[transport]
+        assert all("halo_wait_s" in r for r in th[transport]["policies"].values())
+    assert "policies" in th["mpi"] or th["mpi"].get("skipped")
     if NUMBA_AVAILABLE:
         # compiled-tier acceptance: >=3x batched 12-RHS distributed CG
         # over the interpreted fused engine, with the overlap schedule

@@ -116,16 +116,26 @@ class CommPolicyTuner:
         ``transport/engine/schedule`` and the cached winner carries the
         engine choice.
 
+        ``transports`` may include ``"mpi"``: those schedules are timed
+        *inside* one launcher-started rank program per engine
+        (:func:`repro.comm.mpilaunch.mpi_bench_halo`, so launcher
+        startup never pollutes the timings) and merged into the same
+        race via ``extra_times``.  Requesting ``"mpi"`` where the stack
+        is absent raises :class:`~repro.comm.mpilaunch.MpiLaunchError` —
+        callers degrade to skip-with-reason.  The in-process
+        ``"loopback"`` transport (MPI fabric over an in-process
+        communicator) races like ``threads``/``shm``.
+
         Pass ``tuner`` (a :class:`~repro.autotune.kernel.KernelAutotuner`)
         to persist the race through its tunecache; a throwaway tuner is
         used otherwise.  The tune key's aux carries the rank-grid shape,
-        the batch width, the raced engine set and the environment
-        fingerprint (numba availability, SoA layout version), so a
-        winner raced with numba is never replayed without it — and vice
-        versa — and a different decomposition re-races.  Results are
-        keyed by the *modeled* policy each executed combination
-        corresponds to, so measured and modeled rankings are directly
-        comparable.
+        the batch width, the raced transport and engine sets and the
+        environment fingerprint (numba and mpi4py availability, SoA
+        layout version), so a winner raced with numba is never replayed
+        without it — and vice versa — and a different decomposition or
+        transport set re-races.  Results are keyed by the *modeled*
+        policy each executed combination corresponds to, so measured and
+        modeled rankings are directly comparable.
         """
         from repro.autotune.kernel import KernelAutotuner, TuneKey
         from repro.comm.decomp import slab_grid
@@ -156,10 +166,32 @@ class CommPolicyTuner:
             size=(n_rhs,) + geom.dims + (4, 3)
         )
         multi_engine = engines != ("interpreted",)
+        local_transports = tuple(t for t in transports if t != "mpi")
+        extra_times: dict[str, float] = {}
+        if "mpi" in transports and tuner.comm_choice(tkey) is None:
+            from repro.comm.mpilaunch import mpi_bench_halo
+
+            for engine in engines:
+                bench = mpi_bench_halo(
+                    gauge,
+                    mass,
+                    ranks=ranks,
+                    n_rhs=n_rhs,
+                    repeats=tuner.launches,
+                    engine=engine,
+                    timeout=max(timeout, 300.0),
+                )
+                for schedule, t in bench["times"].items():
+                    name = (
+                        f"mpi/{engine}/{schedule}"
+                        if multi_engine
+                        else f"mpi/{schedule}"
+                    )
+                    extra_times[name] = float(t)
         runtimes: list[DecompRuntime] = []
         try:
             candidates = {}
-            for transport in transports:
+            for transport in local_transports:
                 for engine in engines:
                     rt = DecompRuntime(
                         gauge,
@@ -193,7 +225,9 @@ class CommPolicyTuner:
                             else f"{transport}/{schedule}"
                         )
                         candidates[name] = thunk
-            entry = tuner.tune_comm_policy(tkey, candidates)
+            entry = tuner.tune_comm_policy(
+                tkey, candidates, extra_times=extra_times or None
+            )
         finally:
             for rt in runtimes:
                 rt.close()

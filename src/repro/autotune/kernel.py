@@ -220,12 +220,19 @@ class KernelAutotuner:
         cache: dict[TuneKey, BackendEntry],
         key: TuneKey,
         candidates: Mapping[str, Callable[[], Any]],
+        extra_times: Mapping[str, float] | None = None,
     ) -> BackendEntry:
-        """Shared best-of-k wall-clock race behind one of the caches."""
+        """Shared best-of-k wall-clock race behind one of the caches.
+
+        ``extra_times`` holds externally measured candidates (e.g. the
+        MPI transport, timed inside one launcher-started rank program so
+        process startup never pollutes the race) that compete for the
+        winner alongside the in-process thunks.
+        """
         if key in cache:
             self.lookup_hits += 1
             return cache[key]
-        if not candidates:
+        if not candidates and not extra_times:
             raise ValueError("need at least one candidate to race")
         self.tune_calls += 1
         times: dict[str, float] = {}
@@ -237,6 +244,8 @@ class KernelAutotuner:
                 thunk()
                 best = min(best, time.perf_counter() - t0)
             times[name] = float(best)
+        if extra_times:
+            times.update({str(n): float(t) for n, t in extra_times.items()})
         winner = min(times, key=times.__getitem__)
         entry = BackendEntry(
             backend=winner,
@@ -254,7 +263,10 @@ class KernelAutotuner:
 
     # -- measured communication policies -----------------------------------
     def tune_comm_policy(
-        self, key: TuneKey, candidates: Mapping[str, Callable[[], Any]]
+        self,
+        key: TuneKey,
+        candidates: Mapping[str, Callable[[], Any]],
+        extra_times: Mapping[str, float] | None = None,
     ) -> BackendEntry:
         """Race executed halo-exchange policies; cache under ``"comm"``.
 
@@ -262,8 +274,10 @@ class KernelAutotuner:
         persisted winner) over candidate names like
         ``"threads/blocking"`` — the executed counterpart of the modeled
         :class:`repro.autotune.comm.CommPolicyTuner` ranking.
+        ``extra_times`` merges externally measured candidates (the MPI
+        transport's in-job schedule timings) into the same race.
         """
-        return self._race(self._comm_cache, key, candidates)
+        return self._race(self._comm_cache, key, candidates, extra_times=extra_times)
 
     def comm_choice(self, key: TuneKey) -> str | None:
         """Cached measured comm-policy winner (``None`` if never raced)."""

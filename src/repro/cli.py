@@ -256,7 +256,41 @@ def _comm() -> str:
         f"measured winner: {measured.best.name} "
         f"({measured.speedup_vs_worst:.2f}x vs worst, source={measured.source})"
     )
-    return model_table + "\n\n" + meas_table + "\n" + note
+    return model_table + "\n\n" + meas_table + "\n" + note + "\n" + _comm_mpi(gauge)
+
+
+def _comm_mpi(gauge) -> str:
+    """Executed-MPI line of the comm section.
+
+    Where the MPI stack is present, reports the measured blocking halo
+    wait next to the latency+bandwidth prediction built from the same
+    job's ping-pong link parameters (the executed counterpart of the
+    modeled staged-cpu policy); degrades to a one-line skip reason on
+    hosts without mpi4py or a launcher.
+    """
+    from repro.comm.transports import transport_available
+
+    ok, reason = transport_available("mpi", n_ranks=2)
+    if not ok:
+        return f"mpi transport: skipped ({reason})"
+    from repro.comm.mpilaunch import MpiLaunchError, mpi_bench_halo
+
+    try:
+        bench = mpi_bench_halo(gauge, 0.1, ranks=2, n_rhs=2, repeats=2)
+    except MpiLaunchError as e:
+        return f"mpi transport: skipped ({e})"
+    wait = bench["halo_wait_s"].get("blocking", 0.0)
+    predicted = (
+        bench["messages_per_round"] * bench["latency_s"]
+        + bench["bytes_per_round"] / max(bench["bandwidth_gbs"], 1e-9) / 1e9
+    )
+    return (
+        f"mpi transport ({bench['n_ranks']} ranks): measured blocking halo wait "
+        f"{wait * 1e6:.1f} us/round vs latency+bandwidth prediction "
+        f"{predicted * 1e6:.1f} us/round "
+        f"(link: {bench['latency_s'] * 1e6:.1f} us, "
+        f"{bench['bandwidth_gbs']:.2f} GB/s)"
+    )
 
 
 def _perf() -> str:

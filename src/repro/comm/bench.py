@@ -32,6 +32,7 @@ __all__ = [
     "host_metadata",
     "bench_halo",
     "bench_engines",
+    "bench_transport_halo",
     "bench_cg_headline",
     "bench_cg_engine_race",
     "run",
@@ -240,6 +241,132 @@ def bench_engines(
     }
 
 
+def bench_transport_halo(
+    gauge,
+    mass: float,
+    *,
+    ranks: int,
+    n_rhs: int = 4,
+    repeats: int = REPEATS,
+    transports: tuple[str, ...] | None = None,
+    engine: str = "interpreted",
+    timeout: float = 300.0,
+) -> dict:
+    """Per-transport halo rows: measured wait + overlap efficiency.
+
+    One entry per transport (``threads``/``shm``/``loopback``/``mpi``):
+    ``{"policies": {policy: {"seconds", "halo_wait_s"}},
+    "overlap_efficiency"}``.  A transport that cannot run here (the MPI
+    stack absent, a launch failure) degrades to ``{"skipped": reason}``
+    instead of failing the benchmark.  The MPI entry additionally
+    carries the measured link parameters (ping-pong latency/bandwidth,
+    face bytes and messages per halo round) and a ``model_check``
+    cross-validating the measured blocking halo wait against the
+    latency+bandwidth prediction for the same traffic — the executed
+    counterpart of :class:`repro.comm.model.CommCostModel`.
+    """
+    from repro.comm.distributed import DecompRuntime
+    from repro.comm.exchange import EXECUTED_POLICIES
+    from repro.comm.transports import TRANSPORTS, transport_available
+    from repro.utils.rng import make_rng
+
+    geom = gauge.geometry
+    rng = make_rng(77)
+    shape = (n_rhs,) + geom.dims + (4, 3)
+    psi = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    out: dict = {
+        "volume": "x".join(map(str, geom.dims)),
+        "ranks": ranks,
+        "engine": engine,
+        "transports": {},
+    }
+
+    def efficiency(waits: dict) -> float | None:
+        wb, wo = waits.get("blocking"), waits.get("overlap")
+        return 1.0 - wo / wb if wb and wo is not None and wb > 0 else None
+
+    for transport in transports or TRANSPORTS:
+        ok, reason = transport_available(transport, n_ranks=ranks)
+        if not ok:
+            out["transports"][transport] = {"skipped": reason}
+            continue
+        if transport == "mpi":
+            from repro.comm.mpilaunch import MpiLaunchError, mpi_bench_halo
+
+            try:
+                bench = mpi_bench_halo(
+                    gauge, mass, ranks=ranks, n_rhs=n_rhs, repeats=repeats,
+                    engine=engine, timeout=max(timeout, 600.0),
+                )
+            except MpiLaunchError as e:
+                out["transports"][transport] = {"skipped": str(e)}
+                continue
+            policies = {
+                p: {"seconds": bench["times"][p], "halo_wait_s": bench["halo_wait_s"][p]}
+                for p in bench["times"]
+            }
+            waits = {p: r["halo_wait_s"] for p, r in policies.items()}
+            entry: dict = {
+                "policies": policies,
+                "overlap_efficiency": efficiency(waits),
+                "latency_s": bench["latency_s"],
+                "bandwidth_gbs": bench["bandwidth_gbs"],
+                "bytes_per_round": bench["bytes_per_round"],
+                "messages_per_round": bench["messages_per_round"],
+            }
+            # latency+bandwidth prediction for the measured traffic,
+            # from the same job's ping-pong link parameters
+            if bench["bandwidth_gbs"] > 0 and "blocking" in waits:
+                predicted = (
+                    bench["messages_per_round"] * bench["latency_s"]
+                    + bench["bytes_per_round"] / (bench["bandwidth_gbs"] * 1e9)
+                )
+                measured = waits["blocking"]
+                entry["model_check"] = {
+                    "predicted_s": predicted,
+                    "measured_s": measured,
+                    "ratio": measured / predicted if predicted > 0 else None,
+                }
+            out["transports"][transport] = entry
+            continue
+        rt = DecompRuntime(
+            gauge, mass, ranks=ranks,
+            transport="processes" if transport == "shm" else transport,
+            policy="blocking", engine=engine, max_rhs=n_rhs, timeout=timeout,
+        )
+        policies = {}
+        try:
+            for policy in EXECUTED_POLICIES:
+                if (
+                    policy == "overlap"
+                    and rt.grid.partitioned
+                    and rt.grid.min_partitioned_extent() < 2
+                ):
+                    continue
+                rt.set_policy(policy)
+                rt.hopping(psi)  # warm-up
+                before = rt.halo_stats()
+                best = np.inf
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    rt.hopping(psi)
+                    best = min(best, time.perf_counter() - t0)
+                after = rt.halo_stats()
+                wait = max(
+                    b["wait_seconds"] - a["wait_seconds"]
+                    for a, b in zip(before, after)
+                ) / repeats
+                policies[policy] = {"seconds": best, "halo_wait_s": wait}
+        finally:
+            rt.close()
+        waits = {p: r["halo_wait_s"] for p, r in policies.items()}
+        out["transports"][transport] = {
+            "policies": policies,
+            "overlap_efficiency": efficiency(waits),
+        }
+    return out
+
+
 def bench_cg_headline(
     *,
     ranks: int = 4,
@@ -426,6 +553,19 @@ def run(
     # with the overlap-hiding fraction, on the acceptance volume
     results["engine_rows"] = bench_engines(
         gauge, mass, ranks=race_ranks, n_rhs_list=(1, N_RHS), repeats=repeats
+    )
+
+    # per-transport halo rows (threads/shm/loopback/mpi) on the small
+    # ladder volume; transports the host cannot run degrade to a
+    # skip-with-reason entry rather than failing the benchmark
+    label, dims = HALO_VOLUMES[0]
+    geom = Geometry(*dims)
+    results["transport_halo"] = bench_transport_halo(
+        GaugeField.random(geom, make_rng(55), scale=0.35),
+        mass,
+        ranks=max(r for r in ranks if dims[0] % r == 0),
+        n_rhs=n_rhs,
+        repeats=repeats,
     )
 
     if cg_ranks is not None:

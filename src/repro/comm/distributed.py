@@ -1317,8 +1317,15 @@ def _normalize_transport(transport) -> str:
                 "substrate (GPU Direct RDMA needs NIC support)"
             )
         return name
-    if transport in ("threads", "processes", "shm"):
+    if transport in ("threads", "processes", "shm", "loopback"):
         return "processes" if transport == "shm" else transport
+    if transport == "mpi":
+        raise ValueError(
+            "the mpi transport is launcher-driven (SPMD ranks under "
+            "mpiexec/srun), not an in-process worker pool; dispatch "
+            "through repro.comm.transports.dist_fieldwise/dist_solve, or "
+            "run repro.comm.mpifabric.MpiRuntime inside the rank program"
+        )
     raise ValueError(f"unknown transport {transport!r}")
 
 
@@ -1361,9 +1368,14 @@ class DecompRuntime:
         reduction axis) or an explicit 4D process grid.
     transport:
         ``"threads"`` (shared address space — the zero-copy/CUDA-IPC
-        analogue) or ``"processes"`` (spawned workers over
-        ``multiprocessing.shared_memory`` — the staged-CPU analogue).
-        :class:`TransferPath` values are accepted.
+        analogue), ``"processes"``/``"shm"`` (spawned workers over
+        ``multiprocessing.shared_memory`` — the staged-CPU analogue) or
+        ``"loopback"`` (worker threads whose fabric is the MPI
+        :class:`~repro.comm.mpifabric.MpiFabric` over an in-process
+        communicator — the testable tier of the launcher-driven
+        ``"mpi"`` transport, which itself lives in
+        :mod:`repro.comm.transports`).  :class:`TransferPath` values
+        are accepted.
     policy:
         Executed halo policy (``"blocking"``/``"pairwise"``/``"overlap"``,
         or a :class:`CommPolicy`/:class:`HaloGranularity`).
@@ -1429,6 +1441,7 @@ class DecompRuntime:
                     n_rhs=self.max_rhs,
                     grid=self.grid.grid,
                     policy=self.policy,
+                    transport=self.transport,
                 )
             else:
                 from repro.dirac.kernels import DEFAULT_BACKEND
@@ -1448,14 +1461,29 @@ class DecompRuntime:
         self._chans: list = []
         if self.policy == "overlap" and self.grid.partitioned:
             self.grid.check_overlap_feasible()
-        if self.transport == "threads":
+        if self.transport in ("threads", "loopback"):
             self._start_threads(u_blocks)
         else:
             self._start_processes(u_blocks)
 
     # -- worker startup -----------------------------------------------------
     def _start_threads(self, u_blocks: list[np.ndarray]) -> None:
-        shared = ThreadShared(self._spec)
+        if self.transport == "loopback":
+            # the MPI fabric over an in-process communicator: same
+            # worker threads, but every halo/reduce goes through
+            # Isend/Irecv/Ibarrier/allgather instead of shared state —
+            # this is how tier-1 keeps MpiFabric under test without
+            # mpi4py.
+            from repro.comm.mpifabric import LoopbackWorld, MpiFabric
+
+            world = LoopbackWorld(self.grid.n_ranks, timeout=self._spec.timeout)
+
+            def make_fabric(r: int):
+                return MpiFabric(self._spec, self.grid, world.comm(r))
+
+        else:
+            shared = ThreadShared(self._spec)
+            make_fabric = shared.make_fabric
         self._threads: list[threading.Thread] = []
         self._procs: list = []
         for r in range(self.grid.n_ranks):
@@ -1464,7 +1492,7 @@ class DecompRuntime:
             ctx = _RankContext(
                 r,
                 self.grid,
-                shared.make_fabric(r),
+                make_fabric(r),
                 u_blocks[r],
                 self.mass,
                 self.backend,
@@ -1564,7 +1592,7 @@ class DecompRuntime:
         blocks = self.grid.scatter(phi, site_axis=1)
         payloads = []
         for r, blk in enumerate(blocks):
-            if self.transport == "threads":
+            if self.transport in ("threads", "loopback"):
                 payload = {"field": blk}
             else:
                 self._arena.view(("fin", r), blk.shape)[...] = blk
@@ -1575,7 +1603,7 @@ class DecompRuntime:
         return payloads
 
     def _gather_fields(self, replies: list) -> np.ndarray:
-        if self.transport == "threads":
+        if self.transport in ("threads", "loopback"):
             blocks = [rep["field"] for rep in replies]
         else:
             blocks = [

@@ -1,0 +1,264 @@
+"""SPMD rank program for the MPI transport: ``python -m repro.comm.mpi_worker``.
+
+The driver side (:mod:`repro.comm.mpilaunch`) serializes one *job* —
+operator background plus the operation to run — into an ``.npz`` file,
+launches this module under the machine's launcher (``mpiexec -n N ...``),
+and reads the result ``.npz`` back.  Every rank loads the same job,
+stands up an :class:`~repro.comm.mpifabric.MpiRuntime` over
+``MPI.COMM_WORLD`` and computes collectively; results are identical on
+every rank by construction, so rank 0 alone writes the output
+(atomically: temp file + rename, so a crashed worker never leaves a
+torn result for the driver to misread).
+
+Job fields (all optional except ``op``, ``u``, ``mass``):
+
+``op``
+    ``hopping`` / ``apply`` / ``schur`` / ``schur_dagger`` /
+    ``schur_normal`` / ``prepare_rhs`` / ``cg`` / ``bench``.
+``u``
+    The gauge field's ``u`` array ``(4, X, Y, Z, T, 3, 3)``.
+``psi``
+    Stacked input fields ``(n, X, Y, Z, T, 4, 3)`` (ops except bench).
+``policy`` / ``engine`` / ``max_rhs`` / ``timeout`` / ``antiperiodic_t``
+    Forwarded to the runtime.
+``tol`` / ``max_iter`` / ``reliable`` / ``delta``
+    CG controls (op ``cg``).
+``repeats`` / ``policies``
+    Bench controls (op ``bench``).
+
+``--selftest`` runs a built-in parity check against the serial operator
+on a tiny lattice and prints ``MPI-SELFTEST-OK`` from rank 0 — the CI
+smoke that the binding + launcher actually work before the suite runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _scalar(job, key, default=None):
+    """A python scalar from an npz entry (0-d arrays unwrap via item)."""
+    if key not in getattr(job, "files", job):
+        return default
+    v = job[key]
+    return v.item() if getattr(v, "ndim", 1) == 0 else v
+
+
+def _make_runtime(comm, job):
+    from repro.comm.mpifabric import MpiRuntime
+    from repro.lattice.gauge import GaugeField
+    from repro.lattice.geometry import Geometry
+
+    u = np.asarray(job["u"], dtype=np.complex128)
+    gauge = GaugeField(Geometry(*u.shape[1:5]), u)
+    return MpiRuntime(
+        gauge,
+        float(_scalar(job, "mass")),
+        comm=comm,
+        policy=str(_scalar(job, "policy", "blocking")),
+        engine=str(_scalar(job, "engine", "interpreted")),
+        antiperiodic_t=bool(_scalar(job, "antiperiodic_t", True)),
+        max_rhs=int(_scalar(job, "max_rhs", 12)),
+        timeout=float(_scalar(job, "timeout", 120.0)),
+    )
+
+
+def _stats_payload(stats: list) -> dict:
+    return {
+        "stats_wait_seconds": np.array([s["wait_seconds"] for s in stats]),
+        "stats_messages": np.array([s["messages"] for s in stats]),
+        "stats_bytes_sent": np.array([s["bytes_sent"] for s in stats]),
+        "stats_rounds": np.array([s["rounds"] for s in stats]),
+    }
+
+
+def _pingpong(comm) -> dict:
+    """Measured point-to-point latency and bandwidth between ranks 0/1."""
+    if comm.Get_size() < 2:
+        return {"pingpong_latency_s": np.float64(0.0),
+                "pingpong_bandwidth_gbs": np.float64(0.0)}
+    rank = comm.Get_rank()
+    out = {}
+    for label, nbytes, reps in (("latency", 8, 64), ("bandwidth", 1 << 21, 8)):
+        buf = np.zeros(nbytes // 8, dtype=np.float64)
+        comm.Barrier()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            if rank == 0:
+                comm.Send(buf, dest=1, tag=99)
+                comm.Recv(buf, source=1, tag=99)
+            elif rank == 1:
+                comm.Recv(buf, source=0, tag=99)
+                comm.Send(buf, dest=0, tag=99)
+        dt = time.perf_counter() - t0
+        one_way = dt / reps / 2.0 if rank in (0, 1) else 0.0
+        if label == "latency":
+            out["pingpong_latency_s"] = np.float64(one_way)
+        else:
+            bw = nbytes / one_way / 1e9 if one_way > 0 else 0.0
+            out["pingpong_bandwidth_gbs"] = np.float64(bw)
+    comm.Barrier()
+    return out
+
+
+def _bench(comm, rt, job) -> dict:
+    """Per-schedule halo timings on a stacked hopping workload."""
+    from repro.comm.exchange import EXECUTED_POLICIES
+
+    repeats = int(_scalar(job, "repeats", 3))
+    n_rhs = int(_scalar(job, "n_rhs", 4))
+    policies = _scalar(job, "policies", None)
+    policies = (
+        [str(p) for p in np.atleast_1d(policies)] if policies is not None
+        else list(EXECUTED_POLICIES)
+    )
+    rng = np.random.default_rng(11)
+    dims = rt.geometry.dims
+    psi = rng.normal(size=(n_rhs,) + dims + (4, 3)) + 1j * rng.normal(
+        size=(n_rhs,) + dims + (4, 3)
+    )
+    rows = {}
+    for policy in policies:
+        if (
+            policy == "overlap"
+            and rt.grid.partitioned
+            and rt.grid.min_partitioned_extent() < 2
+        ):
+            continue
+        rt.set_policy(policy)
+        rt.hopping(psi)  # warm-up
+        wait0 = rt.halo_stats()[rt.rank]["wait_seconds"]
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            rt.hopping(psi)
+            best = min(best, time.perf_counter() - t0)
+        stats = rt.halo_stats()
+        wait = (stats[rt.rank]["wait_seconds"] - wait0) / repeats
+        # collective max: the halo wait that actually gates the stencil
+        wait = max(s for s in comm.allgather(wait))
+        rows[policy] = {"seconds": best, "halo_wait_s": wait}
+    ex = rt._ctx.stencil.exchanger
+    bytes_per_round = ex.bytes_sent / ex.rounds if ex.rounds else 0.0
+    msgs_per_round = ex.messages / ex.rounds if ex.rounds else 0.0
+    payload = {
+        "bench_policies": np.array(sorted(rows)),
+        "bench_seconds": np.array([rows[p]["seconds"] for p in sorted(rows)]),
+        "bench_halo_wait_s": np.array([rows[p]["halo_wait_s"] for p in sorted(rows)]),
+        "bench_bytes_per_round": np.float64(bytes_per_round),
+        "bench_messages_per_round": np.float64(msgs_per_round),
+        "bench_n_rhs": np.int64(n_rhs),
+    }
+    payload.update(_pingpong(comm))
+    return payload
+
+
+def run_job(comm, job) -> dict:
+    """Execute one job collectively; returns the output-npz payload."""
+    op = str(_scalar(job, "op"))
+    rt = _make_runtime(comm, job)
+    if op == "bench":
+        payload = _bench(comm, rt, job)
+        payload["n_ranks"] = np.int64(comm.Get_size())
+        return payload
+    psi = np.asarray(job["psi"], dtype=np.complex128)
+    if op == "cg":
+        res = rt.solve_cgne(
+            psi,
+            tol=float(_scalar(job, "tol", 1e-10)),
+            max_iter=int(_scalar(job, "max_iter", 10_000)),
+            reliable=bool(_scalar(job, "reliable", False)),
+            delta=float(_scalar(job, "delta", 0.1)),
+        )
+        payload = {
+            "result": res.x,
+            "iterations": np.int64(res.iterations),
+            "converged": np.asarray(res.converged),
+            "relres": np.asarray(res.final_relres),
+            "reliable_updates": np.int64(res.reliable_updates),
+        }
+    else:
+        fns = {
+            "hopping": rt.hopping,
+            "apply": rt.apply_wilson,
+            "schur": rt.schur_apply,
+            "schur_dagger": rt.schur_dagger_apply,
+            "schur_normal": rt.schur_normal_apply,
+            "prepare_rhs": rt.prepare_rhs,
+        }
+        if op not in fns:
+            raise ValueError(f"unknown mpi_worker op {op!r}")
+        payload = {"result": fns[op](psi)}
+    payload["n_ranks"] = np.int64(comm.Get_size())
+    payload.update(_stats_payload(rt.halo_stats()))
+    return payload
+
+
+def _selftest(comm) -> int:
+    """Built-in parity check: MPI hopping == serial hopping, bitwise."""
+    from repro.dirac.wilson import WilsonOperator
+    from repro.lattice.gauge import GaugeField
+    from repro.lattice.geometry import Geometry
+    from repro.utils.rng import make_rng
+
+    n = comm.Get_size()
+    geom = Geometry(2 * max(n, 2), 2, 2, 4)
+    gauge = GaugeField.random(geom, make_rng(7), scale=0.3)
+    rng = np.random.default_rng(9)
+    psi = rng.normal(size=(2,) + geom.dims + (4, 3)) + 1j * rng.normal(
+        size=(2,) + geom.dims + (4, 3)
+    )
+    from repro.comm.mpifabric import MpiRuntime
+
+    rt = MpiRuntime(gauge, 0.1, comm=comm)
+    got = rt.hopping(psi)
+    want = WilsonOperator(gauge, mass=0.1).hopping(psi)
+    ok = np.array_equal(got, want)
+    all_ok = all(comm.allgather(bool(ok)))
+    if comm.Get_rank() == 0:
+        print(f"MPI-SELFTEST-{'OK' if all_ok else 'FAIL'} n_ranks={n}", flush=True)
+    return 0 if all_ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--job", help="input job .npz")
+    parser.add_argument("--out", help="output result .npz (written by rank 0)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in parity check and exit")
+    args = parser.parse_args(argv)
+    try:
+        from mpi4py import MPI
+    except ImportError:
+        print(
+            "mpi_worker: mpi4py is not installed — this rank program only "
+            "runs under an MPI launcher (pip install -e '.[mpi]'); the "
+            "loopback transport covers the same fabric in-process",
+            file=sys.stderr,
+        )
+        return 2
+
+    comm = MPI.COMM_WORLD
+    if args.selftest:
+        return _selftest(comm)
+    if not args.job or not args.out:
+        parser.error("--job and --out are required (or use --selftest)")
+    with np.load(args.job) as job:
+        payload = run_job(comm, job)
+    if comm.Get_rank() == 0:
+        tmp = args.out + f".tmp.{os.getpid()}"
+        np.savez(tmp, **payload)
+        os.replace(tmp, args.out)
+    comm.Barrier()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""One API over every executed distributed transport.
+
+The transport-parameterized parity suites (and the campaign runtime's
+``--transport`` plumbing) dispatch through this module so that *one*
+code path asserts ``serial == threads == shm == mpi``:
+
+``threads`` / ``shm``
+    The in-process :class:`~repro.comm.distributed.DecompRuntime`
+    driver (``shm`` is the ``processes`` transport's public name).
+``mpi``
+    A relaunch of the same rank program under the machine's launcher
+    (``mpiexec -n N python -m repro.comm.mpi_worker`` via
+    :mod:`repro.comm.mpilaunch`) — real inter-process MPI traffic.
+``loopback``
+    The MPI rank program (:class:`~repro.comm.mpifabric.MpiRuntime`
+    over :class:`~repro.comm.mpifabric.MpiFabric`) run SPMD in threads
+    over an in-process :class:`~repro.comm.mpifabric.LoopbackComm` —
+    the tier that keeps the MPI fabric logic under test on hosts where
+    ``import mpi4py`` fails.
+
+:func:`transport_available` answers (usable, reason) so suites degrade
+to skip-with-reason instead of failing where a transport cannot run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = [
+    "TRANSPORTS",
+    "FIELD_OPS",
+    "transport_available",
+    "dist_fieldwise",
+    "dist_solve",
+    "run_loopback_spmd",
+]
+
+#: Every executed transport, in suite-parameterization order.
+TRANSPORTS = ("threads", "shm", "loopback", "mpi")
+
+#: Field operation codes (the mpi_worker job codes) -> runtime methods.
+FIELD_OPS = {
+    "hopping": "hopping",
+    "apply": "apply_wilson",
+    "schur": "schur_apply",
+    "schur_dagger": "schur_dagger_apply",
+    "schur_normal": "schur_normal_apply",
+    "prepare_rhs": "prepare_rhs",
+}
+
+
+def transport_available(name: str, n_ranks: int = 2) -> tuple[bool, str]:
+    """(usable-here, reason-if-not) for one transport name."""
+    if name in ("threads", "shm", "loopback"):
+        return True, ""
+    if name == "mpi":
+        from repro.comm.mpilaunch import mpi_transport_available
+
+        return mpi_transport_available(n_ranks)
+    return False, f"unknown transport {name!r} (have {TRANSPORTS})"
+
+
+def run_loopback_spmd(n_ranks: int, fn, timeout: float = 60.0) -> list:
+    """Run ``fn(comm)`` on ``n_ranks`` loopback ranks in threads.
+
+    The SPMD harness behind the ``loopback`` transport: every thread is
+    one rank of a :class:`~repro.comm.mpifabric.LoopbackWorld`.  Returns
+    the per-rank results in rank order; the first rank exception is
+    re-raised in the caller.
+    """
+    from repro.comm.mpifabric import LoopbackWorld
+
+    world = LoopbackWorld(n_ranks, timeout=timeout)
+    results: list = [None] * n_ranks
+    errors: list = []
+
+    def entry(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank))
+        except BaseException as e:  # noqa: BLE001 - re-raised below
+            errors.append((rank, e))
+
+    threads = [
+        threading.Thread(target=entry, args=(r,), name=f"loopback-rank{r}")
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 30.0)
+    if errors:
+        # prefer the root cause: a rank that raised outright over a peer
+        # that merely timed out waiting for it
+        from repro.comm.shm import CommTimeoutError
+
+        ordered = sorted(
+            errors, key=lambda re: (isinstance(re[1], CommTimeoutError), re[0])
+        )
+        rank, err = ordered[0]
+        raise RuntimeError(f"loopback rank {rank} failed: {err!r}") from err
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(f"loopback ranks wedged: {alive}")
+    return results
+
+
+def _decomp_runtime(gauge, mass, *, transport, ranks, policy, engine, max_rhs, timeout):
+    from repro.comm.distributed import DecompRuntime
+
+    return DecompRuntime(
+        gauge, mass, ranks=ranks,
+        transport="processes" if transport == "shm" else transport,
+        policy=policy, engine=engine, max_rhs=max_rhs, timeout=timeout,
+    )
+
+
+def _loopback_call(gauge, mass, *, ranks, policy, engine, max_rhs, timeout, calls):
+    from repro.comm.mpifabric import MpiRuntime
+
+    def rank_program(comm):
+        rt = MpiRuntime(
+            gauge, mass, comm=comm, policy=policy, engine=engine,
+            max_rhs=max_rhs, timeout=timeout,
+        )
+        return calls(rt)
+
+    return run_loopback_spmd(ranks, rank_program, timeout=timeout)[0]
+
+
+def dist_fieldwise(
+    op: str,
+    gauge,
+    mass: float,
+    psi: np.ndarray,
+    *,
+    transport: str,
+    ranks: int,
+    policy: str = "blocking",
+    engine: str = "interpreted",
+    timeout: float = 60.0,
+) -> np.ndarray:
+    """One distributed field operation through the named transport.
+
+    ``op`` is a :data:`FIELD_OPS` code.  The result is bitwise identical
+    across transports (the parity suites pin this).
+    """
+    if op not in FIELD_OPS:
+        raise ValueError(f"unknown field op {op!r}; have {sorted(FIELD_OPS)}")
+    max_rhs = max(1, int(psi.shape[0]))
+    if transport == "mpi":
+        from repro.comm.mpilaunch import mpi_fieldwise
+
+        return mpi_fieldwise(
+            op, gauge, mass, psi, ranks=ranks, policy=policy, engine=engine,
+            timeout=max(timeout, 300.0),
+        )
+    if transport == "loopback":
+        return _loopback_call(
+            gauge, mass, ranks=ranks, policy=policy, engine=engine,
+            max_rhs=max_rhs, timeout=timeout,
+            calls=lambda rt: getattr(rt, FIELD_OPS[op])(psi),
+        )
+    with _decomp_runtime(
+        gauge, mass, transport=transport, ranks=ranks, policy=policy,
+        engine=engine, max_rhs=max_rhs, timeout=timeout,
+    ) as rt:
+        return getattr(rt, FIELD_OPS[op])(psi)
+
+
+def dist_solve(
+    gauge,
+    mass: float,
+    b: np.ndarray,
+    *,
+    transport: str,
+    ranks: int,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    reliable: bool = False,
+    delta: float = 0.1,
+    policy: str = "blocking",
+    engine: str = "interpreted",
+    timeout: float = 60.0,
+):
+    """Distributed batched CGNE/RU-CG through the named transport."""
+    max_rhs = max(1, int(b.shape[0]))
+    if transport == "mpi":
+        from repro.comm.mpilaunch import mpi_solve_cgne
+
+        return mpi_solve_cgne(
+            gauge, mass, b, ranks=ranks, tol=tol, max_iter=max_iter,
+            reliable=reliable, delta=delta, policy=policy, engine=engine,
+            timeout=max(timeout, 300.0),
+        )
+    if transport == "loopback":
+        return _loopback_call(
+            gauge, mass, ranks=ranks, policy=policy, engine=engine,
+            max_rhs=max_rhs, timeout=timeout,
+            calls=lambda rt: rt.solve_cgne(
+                b, tol=tol, max_iter=max_iter, reliable=reliable, delta=delta
+            ),
+        )
+    with _decomp_runtime(
+        gauge, mass, transport=transport, ranks=ranks, policy=policy,
+        engine=engine, max_rhs=max_rhs, timeout=timeout,
+    ) as rt:
+        return rt.solve_cgne(
+            b, tol=tol, max_iter=max_iter, reliable=reliable, delta=delta
+        )

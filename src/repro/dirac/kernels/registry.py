@@ -90,10 +90,14 @@ def _env_aux() -> str:
     version rides along for the same reason: repacking the compiled
     tier's memory layout re-races every cached winner.
     """
+    from repro.comm.mpifabric import MPI4PY_AVAILABLE
     from repro.dirac.kernels import numba_soa
     from repro.dirac.kernels.soa import SOA_LAYOUT_VERSION
 
-    return f"numba={int(numba_soa.NUMBA_AVAILABLE)};soa=v{SOA_LAYOUT_VERSION}"
+    return (
+        f"numba={int(numba_soa.NUMBA_AVAILABLE)};soa=v{SOA_LAYOUT_VERSION};"
+        f"mpi4py={int(MPI4PY_AVAILABLE)}"
+    )
 
 
 def dslash_tune_key(
@@ -104,6 +108,7 @@ def dslash_tune_key(
     grid: tuple | None = None,
     policy: str | None = None,
     engine: str | None = None,
+    transport: str | None = None,
 ) -> "TuneKey":
     """The tune key under which a backend choice is cached.
 
@@ -116,10 +121,13 @@ def dslash_tune_key(
     cached winners).
 
     Distributed entries additionally carry the rank-grid shape, the
-    executed halo policy and the dslash engine: the fastest backend on a
-    rank's *local* volume depends on the grid's surface-to-volume shape
-    and on whether the compiled SoA tier drives the stencil, so those
-    choices must never replay across a different decomposition.
+    executed halo policy, the dslash engine and the halo *transport*:
+    the fastest backend on a rank's *local* volume depends on the grid's
+    surface-to-volume shape, on whether the compiled SoA tier drives the
+    stencil, and on what the rank pays per halo round (shared-memory
+    mailboxes vs executed MPI messages), so those choices must never
+    replay across a different decomposition — a winner recorded under
+    the shm transport is re-raced, not replayed, under MPI.
     """
     from repro.autotune.kernel import TuneKey
 
@@ -133,6 +141,8 @@ def dslash_tune_key(
         aux += f";policy={policy}"
     if engine is not None:
         aux += f";engine={engine}"
+    if transport is not None:
+        aux += f";transport={transport}"
     return TuneKey("wilson_hopping", geometry.volume, precision, aux)
 
 
@@ -178,6 +188,7 @@ def select_backend(
     grid: tuple | None = None,
     policy: str | None = None,
     engine: str | None = None,
+    transport: str | None = None,
 ) -> str:
     """Resolve the fastest backend for this volume via the autotuner.
 
@@ -194,7 +205,7 @@ def select_backend(
 
     key = dslash_tune_key(
         geometry, precision=precision, n_rhs=n_rhs, storage=storage,
-        grid=grid, policy=policy, engine=engine,
+        grid=grid, policy=policy, engine=engine, transport=transport,
     )
     cached = tuner.backend_choice(key)
     if cached is not None and cached in _REGISTRY:

@@ -44,6 +44,8 @@ def build_ga_campaign(
     poly_degree: int = 0,
     poly_window: tuple[float, float] = (),
     solver_mode: str = "percolumn",
+    dist_ranks: int = 2,
+    dist_transport: str = "threads",
     shifts: tuple[float, ...] = (),
 ) -> tuple[TaskGraph, dict]:
     """One configuration's worth of the gA production chain.
@@ -52,8 +54,13 @@ def build_ga_campaign(
     Lanczos low modes of ``D^H D`` once and every propagator and
     sequential solve at that mass deflates with it (new DAG edges:
     ``eigen_m* -> prop_m* -> seq_m*``).  ``solver_mode`` selects
-    per-column / lock-step-batched / true-block solves for all 12-source
-    tasks.  A non-empty ``shifts`` tuple adds one ``multishift_prop``
+    per-column / lock-step-batched / true-block / rank-parallel
+    distributed solves for all 12-source tasks; with
+    ``solver_mode="distributed"``, ``dist_ranks`` and ``dist_transport``
+    (``threads``/``shm``/``loopback``/``mpi`` — ``mpi`` relaunches each
+    solve under the machine's launcher) pick the decomposition and the
+    executed halo transport.  A non-empty ``shifts`` tuple adds one
+    ``multishift_prop``
     task on the base mass solving the whole shifted family
     ``(D^H D + sigma_i)`` in one Krylov sweep.
 
@@ -85,6 +92,11 @@ def build_ga_campaign(
             "shifts": list(float(s) for s in shifts),
         },
     }
+    if solver_mode == "distributed":
+        # only fingerprint the decomposition knobs when they matter, so
+        # historical non-distributed specs keep their fingerprints
+        spec["kwargs"]["dist_ranks"] = int(dist_ranks)
+        spec["kwargs"]["dist_transport"] = str(dist_transport)
 
     tasks: list[CampaignTask] = [
         CampaignTask(
@@ -149,6 +161,9 @@ def build_ga_campaign(
             solve_deps = (eigen_id,)
         if solver_mode != "percolumn":
             solve_extra["solver_mode"] = solver_mode
+        if solver_mode == "distributed":
+            solve_extra["dist_ranks"] = int(dist_ranks)
+            solve_extra["dist_transport"] = str(dist_transport)
         # Lighter quarks condition worse: est scales like 1/mass, which
         # is the heterogeneity the schedulers exploit.
         tasks.append(

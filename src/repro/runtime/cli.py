@@ -98,6 +98,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         poly_degree=args.poly_degree,
         poly_window=tuple(args.poly_window),
         solver_mode=args.solver_mode,
+        dist_ranks=args.dist_ranks,
+        dist_transport=args.dist_transport,
         shifts=tuple(args.shifts),
     )
     rt = CampaignRuntime(args.workdir, _build_config(args), spec=spec)
@@ -198,6 +200,16 @@ def main(argv: list[str] | None = None) -> int:
                        "shared-Krylov block CG, or the rank-parallel "
                        "decomposition runtime (compiled SoA engine where "
                        "numba imports)")
+    p_run.add_argument("--dist-ranks", type=int, default=2,
+                       help="rank count for --solver-mode distributed")
+    p_run.add_argument("--dist-transport",
+                       choices=["threads", "shm", "loopback", "mpi"],
+                       default="threads",
+                       help="halo transport for --solver-mode distributed: "
+                       "in-process thread fabric, shared-memory worker "
+                       "processes, the in-process MPI-fabric loopback, or "
+                       "real launcher-spawned mpi4py ranks (one mpiexec/"
+                       "srun launch per solve; needs the mpi extra)")
     p_run.add_argument("--shifts", type=float, nargs="*", default=[],
                        help="add a multishift_prop task solving "
                        "(D^H D + sigma_i) for this shift family on the "

@@ -344,6 +344,9 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
         CGNE for any rank count.  ``dist_ranks``/``dist_engine``/
         ``dist_policy``/``dist_transport`` select the decomposition; the
         compiled SoA engine is picked automatically where numba imports.
+        ``dist_transport`` accepts ``threads``/``shm``/``loopback``
+        (in-process) and ``mpi`` (the whole solve relaunched under the
+        machine's launcher via :func:`repro.comm.transports.dist_solve`).
 
     An optional ``eigen`` artifact ref deflates every solve with the
     per-configuration low-mode basis, in any mode except
@@ -416,15 +419,35 @@ def _exec_propagator(params: dict, ctx: ExecContext) -> dict[str, str]:
                 f"{ctx.task_id}: solver_mode 'distributed' does not support "
                 "deflation (drop the eigen ref or use batched/block)"
             )
-        with DistributedEvenOddOperator(
-            gauge,
-            float(params["mass"]),
-            ranks=int(params.get("dist_ranks", 2)),
-            engine=str(params.get("dist_engine", "auto")),
-            policy=str(params.get("dist_policy", "blocking")),
-            transport=str(params.get("dist_transport", "threads")),
-        ) as op:
-            res = DistributedCG(op, tol=tol, max_iter=max_iter).solve_batched(sources)
+        dist_transport = str(params.get("dist_transport", "threads"))
+        if dist_transport == "mpi":
+            # launcher-driven: the whole CG runs inside one rank program
+            # (one subprocess per task, not one per operator apply)
+            from repro.comm.transports import dist_solve
+
+            res = dist_solve(
+                gauge,
+                float(params["mass"]),
+                sources,
+                transport="mpi",
+                ranks=int(params.get("dist_ranks", 2)),
+                tol=tol,
+                max_iter=max_iter,
+                policy=str(params.get("dist_policy", "blocking")),
+                engine=str(params.get("dist_engine", "auto")),
+            )
+        else:
+            with DistributedEvenOddOperator(
+                gauge,
+                float(params["mass"]),
+                ranks=int(params.get("dist_ranks", 2)),
+                engine=str(params.get("dist_engine", "auto")),
+                policy=str(params.get("dist_policy", "blocking")),
+                transport=dist_transport,
+            ) as op:
+                res = DistributedCG(op, tol=tol, max_iter=max_iter).solve_batched(
+                    sources
+                )
         if not bool(np.all(res.converged)):
             bad = [i for i in range(12) if not res.converged[i]]
             raise RuntimeError(

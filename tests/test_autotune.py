@@ -329,3 +329,56 @@ class TestMeasuredCommTuning:
             gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=fresh
         )
         assert fresh.tune_calls == 1
+
+    def test_transport_set_rekeys_the_race(self, tmp_path):
+        """A comm winner recorded under one transport set is re-raced —
+        not replayed — when the raced set changes (the shm-vs-mpi
+        tunecache invalidation contract, exercised through loopback)."""
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 6, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        )
+        assert ktuner.tune_calls == 1
+        path = tmp_path / "tunecache.json"
+        ktuner.save(path)
+
+        fresh = KernelAutotuner(launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2,
+            transports=("threads", "loopback"), tuner=fresh,
+        )
+        assert fresh.tune_calls == 1  # wider set: cache miss, re-raced
+        keys = [k for k in fresh._comm_cache if k.kernel == "halo_policy"]
+        assert any("threads+loopback" in k.aux for k in keys)
+
+    def test_mpi4py_availability_invalidates_replay(self, tmp_path, monkeypatch):
+        """Installing (or losing) mpi4py flips the env fingerprint, so a
+        cached halo-policy winner re-races rather than replays."""
+        from repro.comm import mpifabric
+        from repro.lattice import GaugeField, Geometry
+        from repro.utils.rng import make_rng
+
+        geom = Geometry(4, 6, 2, 8)
+        gauge = GaugeField.random(geom, make_rng(3), scale=0.3)
+        ktuner = KernelAutotuner(launches_per_candidate=1)
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=ktuner
+        )
+        path = tmp_path / "tunecache.json"
+        ktuner.save(path)
+
+        fresh = KernelAutotuner(launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        monkeypatch.setattr(
+            mpifabric, "MPI4PY_AVAILABLE", not mpifabric.MPI4PY_AVAILABLE
+        )
+        CommPolicyTuner().tune_measured(
+            gauge, 0.1, ranks=2, n_rhs=2, transports=("threads",), tuner=fresh
+        )
+        assert fresh.tune_calls == 1

@@ -2,7 +2,10 @@
 
 The decomposition runtime must *reproduce*, not approximate: hopping,
 Wilson apply, and the Schur ops are required to match the single-process
-operators bit for bit on any rank grid, any transport, any policy.
+operators bit for bit on any rank grid, any transport, any policy.  The
+``transport`` fixture (``tests/conftest.py``) parameterizes the parity
+assertions over threads/shm/loopback/mpi from one source of truth, with
+unavailable transports skipping with the capability probe's reason.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from repro.comm.distributed import (
     _RankContext,
 )
 from repro.comm.shm import FabricSpec, ThreadShared
+from repro.comm.transports import dist_fieldwise
 from repro.dirac.evenodd_wilson import EvenOddWilson
 from repro.dirac.wilson import WilsonOperator
 from repro.lattice import GaugeField, Geometry
@@ -50,13 +54,39 @@ def test_hopping_and_apply_bitwise(dims, ranks):
 
 
 @pytest.mark.parametrize("policy", ["blocking", "pairwise", "overlap"])
-def test_policies_all_bitwise(policy):
+def test_policies_all_bitwise(transport, policy):
+    """serial == threads == shm == loopback == mpi, every schedule."""
     gauge, psi = _background((4, 6, 2, 8))
     serial = WilsonOperator(gauge, MASS, backend="halfspinor")
-    with DistributedWilsonOperator(
-        gauge, MASS, ranks=2, backend="halfspinor", policy=policy, timeout=60.0
-    ) as op:
-        assert np.array_equal(op.apply(psi), serial.apply(psi))
+    got = dist_fieldwise(
+        "apply", gauge, MASS, psi, transport=transport, ranks=2, policy=policy
+    )
+    assert np.array_equal(got, serial.apply(psi))
+
+
+@pytest.mark.parametrize("ranks", [2, 4, 8])
+def test_hopping_parity_across_transports(transport, ranks):
+    """One source of truth: the serial operator, every transport/ranks."""
+    gauge, psi = _background((8, 4, 2, 8))
+    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
+    got = dist_fieldwise(
+        "hopping", gauge, MASS, psi, transport=transport, ranks=ranks
+    )
+    assert np.array_equal(got, serial.hopping(psi))
+
+
+def test_schur_ops_parity_across_transports(transport):
+    gauge, psi = _background((4, 6, 2, 8))
+    eo = EvenOddWilson(WilsonOperator(gauge, MASS, backend="halfspinor"))
+    x = eo.restrict(psi, 0)
+    for op, want in (
+        ("schur", eo.schur_apply(x)),
+        ("schur_dagger", eo.schur_dagger_apply(x)),
+        ("prepare_rhs", eo.prepare_rhs(psi)),
+    ):
+        arg = psi if op == "prepare_rhs" else x
+        got = dist_fieldwise(op, gauge, MASS, arg, transport=transport, ranks=2)
+        assert np.array_equal(got, want), op
 
 
 def test_overlap_equals_blocking_bitwise():
@@ -69,21 +99,6 @@ def test_overlap_equals_blocking_bitwise():
         op.runtime.set_policy("overlap")
         overlap = op.apply(psi)
     assert np.array_equal(blocking, overlap)
-
-
-def test_processes_transport_bitwise():
-    """Spawned shared-memory workers agree with the serial operator."""
-    gauge, psi = _background((4, 6, 2, 8))
-    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
-    with DistributedWilsonOperator(
-        gauge,
-        MASS,
-        ranks=2,
-        transport="processes",
-        backend="halfspinor",
-        timeout=120.0,
-    ) as op:
-        assert np.array_equal(op.apply(psi), serial.apply(psi))
 
 
 def test_evenodd_schur_ops_bitwise():

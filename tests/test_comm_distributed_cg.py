@@ -2,7 +2,8 @@
 
 Global reductions go through the deterministic per-x-slice table, so the
 solver's iterates — and therefore its answers and iteration counts — are
-bitwise invariant under the rank grid.
+bitwise invariant under the rank grid — and, through the ``transport``
+fixture, invariant under threads/shm/loopback/mpi as well.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.comm.distributed import DistributedCG, DistributedEvenOddOperator
+from repro.comm.transports import dist_solve
 from repro.dirac.evenodd_wilson import EvenOddWilson
 from repro.dirac.wilson import WilsonOperator
 from repro.lattice import GaugeField, Geometry
@@ -78,19 +80,38 @@ def test_cg_true_residual_small():
     assert relres < 5e-8
 
 
-def test_cg_processes_transport_bitwise():
-    """Shared-memory worker processes reproduce the threaded answer."""
+def test_cg_parity_across_transports(transport):
+    """Every transport reproduces the threaded answer bitwise — same x,
+    same iteration count, same final residuals."""
     gauge, b = _sources((4, 4, 4, 8), n_rhs=2)
-    out = {}
-    for transport in ("threads", "processes"):
-        with DistributedEvenOddOperator(
-            gauge,
-            MASS,
-            ranks=2,
-            transport=transport,
-            backend="halfspinor",
-            timeout=120.0,
-        ) as op:
-            out[transport] = DistributedCG(op, tol=TOL, max_iter=2000).solve_batched(b)
-    assert np.array_equal(out["threads"].x, out["processes"].x)
-    assert out["threads"].iterations == out["processes"].iterations
+    with DistributedEvenOddOperator(
+        gauge, MASS, ranks=2, backend="halfspinor", timeout=60.0
+    ) as op:
+        want = DistributedCG(op, tol=TOL, max_iter=2000).solve_batched(b)
+    got = dist_solve(
+        gauge, MASS, b, transport=transport, ranks=2, tol=TOL, max_iter=2000
+    )
+    assert want.converged.all() and got.converged.all()
+    assert np.array_equal(got.x, want.x)
+    assert got.iterations == want.iterations
+    assert np.array_equal(got.final_relres, want.final_relres)
+
+
+def test_rucg_parity_across_transports(transport):
+    """Reliable-update CG: fold/restart decisions are collective, so the
+    sloppy-storage path is transport-invariant too (same update count)."""
+    gauge, b = _sources((4, 4, 4, 8), n_rhs=2)
+    with DistributedEvenOddOperator(
+        gauge, MASS, ranks=2, backend="halfspinor", timeout=60.0
+    ) as op:
+        want = DistributedCG(
+            op, tol=TOL, max_iter=2000, reliable=True, delta=0.1
+        ).solve_batched(b)
+    got = dist_solve(
+        gauge, MASS, b, transport=transport, ranks=2, tol=TOL, max_iter=2000,
+        reliable=True, delta=0.1,
+    )
+    assert want.reliable_updates >= 1
+    assert got.reliable_updates == want.reliable_updates
+    assert got.iterations == want.iterations
+    assert np.array_equal(got.x, want.x)

@@ -1,0 +1,315 @@
+"""The executed MPI transport, tested without an MPI stack.
+
+:class:`~repro.comm.mpifabric.MpiFabric` speaks a small mpi4py subset
+(``Isend``/``Irecv``/``Ibarrier``/``allgather``), so the whole fabric —
+tag codec, pre-posted receives, pooled buffers, fixed-order reductions —
+runs under the in-process :class:`~repro.comm.mpifabric.LoopbackComm`
+on hosts where ``import mpi4py`` fails.  These suites pin:
+
+* bitwise parity of the MPI rank program
+  (:class:`~repro.comm.mpifabric.MpiRuntime`) against the serial
+  operators and the thread-fabric decomposition runtime;
+* the :mod:`repro.comm.mpi_worker` job protocol end to end (field ops,
+  CG, bench) over loopback SPMD ranks — no subprocess, no launcher;
+* graceful capability detection: every mpi-needing entry point degrades
+  to a skip/False/raise-with-reason where the stack is absent;
+* (mpi-capable hosts only) the measured halo cost sitting within a
+  generous band of the latency+bandwidth comm-model prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.decomp import slab_grid
+from repro.comm.distributed import DecompRuntime
+from repro.comm.mpifabric import (
+    MPI4PY_AVAILABLE,
+    LoopbackWorld,
+    MpiRuntime,
+    _encode_tag,
+)
+from repro.comm.transports import (
+    TRANSPORTS,
+    dist_fieldwise,
+    run_loopback_spmd,
+    transport_available,
+)
+from repro.dirac.wilson import WilsonOperator
+from repro.lattice import GaugeField, Geometry
+from repro.utils.rng import make_rng
+
+MASS = 0.12
+
+
+def _background(dims, n_rhs=2, seed=21):
+    geom = Geometry(*dims)
+    gauge = GaugeField.random(geom, make_rng(seed), scale=0.35)
+    rng = np.random.default_rng(5)
+    shape = (n_rhs,) + geom.dims + (4, 3)
+    psi = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return gauge, psi
+
+
+# -- tag codec ---------------------------------------------------------------
+
+
+def test_tag_codec_is_injective():
+    """(slot, direction, mu) -> one of 16 distinct wire tags."""
+    seen = set()
+    for slot in (0, 1):
+        for d in ("f", "b"):
+            for mu in range(4):
+                seen.add(_encode_tag(slot, (d, mu)))
+    assert len(seen) == 16
+    assert min(seen) >= 0 and max(seen) <= 15
+
+
+# -- loopback communicator ---------------------------------------------------
+
+
+def test_loopback_allgather_orders_by_rank():
+    world = LoopbackWorld(3, timeout=10.0)
+
+    def program(comm):
+        return comm.allgather(comm.Get_rank() * 10)
+
+    results = run_loopback_spmd(3, program, timeout=10.0)
+    assert results == [[0, 10, 20]] * 3
+
+
+def test_loopback_isend_irecv_roundtrip():
+    world = LoopbackWorld(2, timeout=10.0)
+
+    def program(comm):
+        rank = comm.Get_rank()
+        peer = 1 - rank
+        out = np.full(4, float(rank))
+        buf = np.zeros(4)
+        sreq = comm.Isend(out, dest=peer, tag=7)
+        rreq = comm.Irecv(buf, source=peer, tag=7)
+        while not (sreq.Test() and rreq.Test()):
+            pass
+        return buf.copy()
+
+    results = run_loopback_spmd(2, program, timeout=10.0)
+    assert np.array_equal(results[0], np.full(4, 1.0))
+    assert np.array_equal(results[1], np.full(4, 0.0))
+
+
+def test_loopback_spmd_reraises_rank_error():
+    def program(comm):
+        if comm.Get_rank() == 1:
+            raise ValueError("rank 1 exploded")
+        return comm.allgather(0)  # blocks; peers must not wedge the harness
+
+    with pytest.raises(RuntimeError, match="rank 1"):
+        run_loopback_spmd(2, program, timeout=2.0)
+
+
+# -- MpiRuntime parity -------------------------------------------------------
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+@pytest.mark.parametrize("policy", ["blocking", "pairwise", "overlap"])
+def test_mpi_runtime_hopping_bitwise(ranks, policy):
+    gauge, psi = _background((8, 4, 2, 8))
+    serial = WilsonOperator(gauge, MASS, backend="halfspinor")
+    want = serial.hopping(psi)
+
+    def program(comm):
+        rt = MpiRuntime(gauge, MASS, comm=comm, policy=policy)
+        return rt.hopping(psi)
+
+    for got in run_loopback_spmd(ranks, program, timeout=60.0):
+        assert np.array_equal(got, want)
+
+
+def test_mpi_runtime_cg_matches_thread_fabric():
+    """Same iterates, same bits: MPI fabric == thread fabric CGNE."""
+    gauge, b = _background((4, 4, 4, 8), n_rhs=2, seed=7)
+    with DecompRuntime(gauge, MASS, ranks=2, transport="threads") as rt:
+        want = rt.solve_cgne(b, tol=1e-8, max_iter=2000)
+
+    def program(comm):
+        rt = MpiRuntime(gauge, MASS, comm=comm)
+        return rt.solve_cgne(b, tol=1e-8, max_iter=2000)
+
+    got = run_loopback_spmd(2, program, timeout=60.0)[0]
+    assert got.converged.all()
+    assert got.iterations == want.iterations
+    assert np.array_equal(got.x, want.x)
+
+
+def test_mpi_runtime_halo_stats_schema():
+    gauge, psi = _background((8, 4, 2, 8))
+
+    def program(comm):
+        rt = MpiRuntime(gauge, MASS, comm=comm)
+        rt.hopping(psi)
+        return rt.halo_stats()
+
+    stats = run_loopback_spmd(2, program, timeout=60.0)[0]
+    assert len(stats) == 2
+    for s in stats:
+        assert s["rounds"] >= 1
+        assert s["messages"] > 0 and s["bytes_sent"] > 0
+        assert s["wait_seconds"] >= 0.0
+
+
+# -- mpi_worker job protocol over loopback ranks -----------------------------
+
+
+def _run_worker_job(job: dict, n_ranks: int) -> dict:
+    """Execute one worker job on loopback SPMD ranks (no subprocess)."""
+    from repro.comm.mpi_worker import run_job
+
+    def program(comm):
+        return run_job(comm, job)
+
+    return run_loopback_spmd(n_ranks, program, timeout=120.0)[0]
+
+
+def test_worker_job_hopping():
+    gauge, psi = _background((8, 4, 2, 8))
+    want = WilsonOperator(gauge, MASS, backend="halfspinor").hopping(psi)
+    out = _run_worker_job(
+        {"op": "hopping", "u": gauge.u, "mass": MASS, "psi": psi, "max_rhs": 2},
+        n_ranks=2,
+    )
+    assert int(out["n_ranks"]) == 2
+    assert np.array_equal(out["result"], want)
+    assert out["stats_rounds"].shape == (2,)
+
+
+def test_worker_job_cg():
+    gauge, b = _background((4, 4, 4, 8), n_rhs=2, seed=7)
+    with DecompRuntime(gauge, MASS, ranks=2, transport="threads") as rt:
+        want = rt.solve_cgne(b, tol=1e-8, max_iter=2000)
+    out = _run_worker_job(
+        {
+            "op": "cg", "u": gauge.u, "mass": MASS, "psi": b, "max_rhs": 2,
+            "tol": 1e-8, "max_iter": 2000,
+        },
+        n_ranks=2,
+    )
+    assert np.asarray(out["converged"]).all()
+    assert int(out["iterations"]) == want.iterations
+    assert np.array_equal(out["result"], want.x)
+
+
+def test_worker_job_bench_schema():
+    gauge, _ = _background((4, 6, 2, 8))
+    out = _run_worker_job(
+        {"op": "bench", "u": gauge.u, "mass": MASS, "n_rhs": 1, "repeats": 1},
+        n_ranks=2,
+    )
+    names = [str(p) for p in out["bench_policies"]]
+    assert set(names) <= {"blocking", "pairwise", "overlap"}
+    assert "blocking" in names
+    assert out["bench_seconds"].shape == out["bench_halo_wait_s"].shape
+    assert float(out["bench_bytes_per_round"]) > 0
+    assert float(out["bench_messages_per_round"]) > 0
+
+
+def test_worker_job_unknown_op_raises():
+    gauge, psi = _background((4, 6, 2, 8))
+    with pytest.raises(RuntimeError, match="unknown mpi_worker op"):
+        _run_worker_job(
+            {"op": "frobnicate", "u": gauge.u, "mass": MASS, "psi": psi},
+            n_ranks=1,
+        )
+
+
+# -- capability detection / graceful degradation -----------------------------
+
+
+def test_transport_registry_is_complete():
+    assert TRANSPORTS == ("threads", "shm", "loopback", "mpi")
+    for name in ("threads", "shm", "loopback"):
+        ok, reason = transport_available(name)
+        assert ok and reason == ""
+    ok, reason = transport_available("warp")
+    assert not ok and "unknown transport" in reason
+
+
+def test_dist_fieldwise_rejects_unknown_op():
+    gauge, psi = _background((4, 6, 2, 8))
+    with pytest.raises(ValueError, match="unknown field op"):
+        dist_fieldwise("frob", gauge, MASS, psi, transport="threads", ranks=2)
+
+
+@pytest.mark.skipif(MPI4PY_AVAILABLE, reason="needs an mpi4py-less host")
+def test_graceful_skip_paths_without_mpi4py():
+    """The numpy-only leg: every mpi entry point names the missing stack
+    instead of crashing — the skip reason the suites surface."""
+    from repro.comm.mpilaunch import (
+        MpiLaunchError,
+        mpi_selftest,
+        mpi_transport_available,
+        run_mpi_job,
+    )
+
+    ok, reason = transport_available("mpi")
+    assert not ok and "mpi4py" in reason
+    ok, reason = mpi_transport_available(2)
+    assert not ok and "mpi4py" in reason
+    assert mpi_selftest(2) is False
+    with pytest.raises(MpiLaunchError, match="mpi4py"):
+        run_mpi_job({"op": "hopping"}, n_ranks=2)
+    # the rank program itself, invoked by hand outside a launcher, must
+    # name the missing stack instead of dumping a traceback
+    import subprocess
+    import sys as _sys
+
+    proc = subprocess.run(
+        [_sys.executable, "-m", "repro.comm.mpi_worker", "--selftest"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 2
+    assert "mpi4py is not installed" in proc.stderr
+
+
+def test_decomp_runtime_directs_mpi_to_launcher_path():
+    gauge, _ = _background((4, 6, 2, 8))
+    with pytest.raises(ValueError, match="launcher-driven"):
+        DecompRuntime(gauge, MASS, ranks=2, transport="mpi")
+
+
+# -- measured vs modeled comm band (mpi-capable hosts only) ------------------
+
+
+def test_mpi_measured_within_band_of_comm_model():
+    """Cross-validation row: the measured MPI blocking halo wait must sit
+    within a generous band of the latency+bandwidth prediction for the
+    same face bytes — the executed check behind ``repro-report --section
+    comm``.  Runs only where a real launcher exists (the mpi-parity CI
+    job); elsewhere it documents the skip reason."""
+    ok, reason = transport_available("mpi", n_ranks=2)
+    if not ok:
+        pytest.skip(f"transport 'mpi' unavailable: {reason}")
+    from repro.comm.mpilaunch import mpi_bench_halo
+
+    gauge, _ = _background((4, 6, 2, 8))
+    bench = mpi_bench_halo(gauge, MASS, ranks=2, n_rhs=2, repeats=3)
+    assert bench["n_ranks"] == 2
+    assert bench["latency_s"] > 0 and bench["bandwidth_gbs"] > 0
+    assert bench["bytes_per_round"] > 0 and bench["messages_per_round"] > 0
+    predicted = (
+        bench["messages_per_round"] * bench["latency_s"]
+        + bench["bytes_per_round"] / (bench["bandwidth_gbs"] * 1e9)
+    )
+    measured = bench["halo_wait_s"]["blocking"]
+    # generous band: software overheads (tag matching, progress polling,
+    # GIL re-entry) inflate the measured cost well past the wire model,
+    # but a >100x disagreement means the accounting is broken
+    assert measured / predicted < 100.0, (measured, predicted)
+    assert measured / predicted > 0.01, (measured, predicted)
+
+
+def test_slab_grid_divisibility_contract():
+    """The mpi transport decomposes exactly like the local ones."""
+    assert slab_grid((8, 4, 2, 8), 4) == (4, 1, 1, 1)
+    with pytest.raises(ValueError):
+        slab_grid((6, 4, 2, 8), 4)

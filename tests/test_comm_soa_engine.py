@@ -30,6 +30,7 @@ from repro.comm.distributed import (
     DistributedEvenOddOperator,
     DistributedWilsonOperator,
 )
+from repro.comm.transports import dist_fieldwise
 from repro.dirac.kernels import NUMBA_AVAILABLE, SoAHalfSpinorKernel
 from repro.dirac.kernels import soa_dist
 from repro.lattice import GaugeField, Geometry
@@ -69,6 +70,19 @@ def test_hopping_bitwise_vs_serial_soa(ranks, policy):
         assert op.engine == "compiled"
         assert op.backend == "numba_soa"
         got = op.hopping(psi)
+    assert np.array_equal(got, serial.hopping(psi))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_compiled_engine_parity_across_transports(transport, policy):
+    """The compiled SoA engine is bitwise serial-equal on every executed
+    transport — threads/shm/loopback/mpi all drive the same kernels."""
+    gauge, psi = _background((8, 4, 2, 8))
+    serial = _serial_soa(gauge)
+    got = dist_fieldwise(
+        "hopping", gauge, MASS, psi, transport=transport, ranks=2,
+        policy=policy, engine="compiled",
+    )
     assert np.array_equal(got, serial.hopping(psi))
 
 

@@ -224,6 +224,54 @@ class TestAutotunedSelection:
         )
         assert len({dist, other_grid, other_policy, other_engine, serial}) == 5
 
+    def test_tune_key_encodes_transport(self, geom_tiny):
+        """A winner tuned under the shm transport never replays under
+        MPI: halo-round costs differ, so the aux carries the transport
+        (and the env fingerprint carries mpi4py availability)."""
+        shm = dslash_tune_key(
+            geom_tiny, grid=(2, 1, 1, 1), policy="blocking",
+            engine="interpreted", transport="shm",
+        )
+        mpi = dslash_tune_key(
+            geom_tiny, grid=(2, 1, 1, 1), policy="blocking",
+            engine="interpreted", transport="mpi",
+        )
+        assert "transport=shm" in shm.aux
+        assert "transport=mpi" in mpi.aux
+        assert shm != mpi
+        serial = dslash_tune_key(geom_tiny)
+        assert "transport=" not in serial.aux
+        assert "mpi4py=" in serial.aux  # env fingerprint rides along
+
+    def test_transport_winner_not_replayed_across_transports(
+        self, gauge_tiny, tmp_path
+    ):
+        """The cross-env replay contract for transports: record a
+        backend choice under shm, reload in a fresh tuner — the same
+        transport is a pure lookup, a different one re-races."""
+        u = gauge_tiny.fermion_links(antiperiodic_t=True)
+        u_dag = np.conjugate(np.swapaxes(u, -1, -2))
+        geom = gauge_tiny.geometry
+
+        def pick(tuner, transport):
+            return select_backend(
+                tuner, u, u_dag, geom, grid=(2, 1, 1, 1),
+                policy="blocking", engine="interpreted", transport=transport,
+            )
+
+        tuner = KernelAutotuner(rng=0, launches_per_candidate=1)
+        choice = pick(tuner, "shm")
+        assert tuner.tune_calls == 1
+        path = tmp_path / "tunecache.json"
+        tuner.save(path)
+
+        fresh = KernelAutotuner(rng=1, launches_per_candidate=1)
+        assert fresh.load(path) >= 1
+        assert pick(fresh, "shm") == choice
+        assert fresh.tune_calls == 0  # same transport: replayed
+        pick(fresh, "mpi")
+        assert fresh.tune_calls == 1  # shm winner NOT replayed under mpi
+
     def test_cross_environment_replay_invalidated(
         self, gauge_tiny, tmp_path, monkeypatch
     ):
